@@ -1,0 +1,212 @@
+package thrifty
+
+// One benchmark per table and figure of the paper's evaluation. Each bench
+// regenerates its experiment at the Small scale (laptop-friendly: 400
+// tenants, 7-day logs) and reports the headline metric as a custom unit so
+// `go test -bench=. -benchmem` doubles as a results table. The full-scale
+// (paper-parameter) runs are `go run ./cmd/thrifty-experiments -scale full`.
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	benchEnvOnce sync.Once
+	benchEnv     *experiments.Env
+	benchEnvErr  error
+)
+
+// env builds the Small-scale environment once for all benchmarks (library
+// collection dominates set-up cost).
+func env(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchEnvOnce.Do(func() {
+		benchEnv, benchEnvErr = experiments.NewEnv(experiments.Small, 1)
+	})
+	if benchEnvErr != nil {
+		b.Fatal(benchEnvErr)
+	}
+	return benchEnv
+}
+
+// cell parses a numeric table cell like "81.3%" or "6.86".
+func cell(b *testing.B, s string) float64 {
+	b.Helper()
+	s = strings.TrimSuffix(strings.TrimSuffix(s, "%"), "×")
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		b.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}
+
+// BenchmarkFig1_1a_QuerySpeedup regenerates Figure 1.1a: TPC-H Q1 speedup
+// under single-tenant, sequential, and concurrent multi-tenancy.
+func BenchmarkFig1_1a_QuerySpeedup(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig11aSpeedup()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cell(b, t.Rows[len(t.Rows)-1][1]) // 1T speedup at 8 nodes
+	}
+	b.ReportMetric(last, "speedup8n")
+}
+
+// BenchmarkFig1_1b_ConsolidatedLatency regenerates Figure 1.1b: Q1 latency
+// for 4 × 2-node tenants hosted on one 6-node MPPDB (points A, B, C, E, F).
+func BenchmarkFig1_1b_ConsolidatedLatency(b *testing.B) {
+	var pointC float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig11bLatency()
+		if err != nil {
+			b.Fatal(err)
+		}
+		pointC = cell(b, t.Rows[2][3]) // C: 2 concurrently active vs SLA
+	}
+	b.ReportMetric(pointC, "pointC_vs_SLA")
+}
+
+// BenchmarkFig1_1c_NonLinearQuery regenerates Figure 1.1c: TPC-H Q19's
+// plateauing speedup.
+func BenchmarkFig1_1c_NonLinearQuery(b *testing.B) {
+	var last float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.Fig11cNonLinear()
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = cell(b, t.Rows[len(t.Rows)-1][1])
+	}
+	b.ReportMetric(last, "speedup8n")
+}
+
+// BenchmarkTable5_1_Provisioning regenerates Table 5.1: MPPDB start/init and
+// bulk-load times.
+func BenchmarkTable5_1_Provisioning(b *testing.B) {
+	var loadSec float64
+	for i := 0; i < b.N; i++ {
+		t := experiments.Table51Provisioning()
+		loadSec = cell(b, strings.TrimSuffix(t.Rows[0][3], "s"))
+	}
+	b.ReportMetric(loadSec, "load200GB_s")
+}
+
+// benchSweep runs one Fig 7.x sweep and reports the 2-step effectiveness of
+// the named row.
+func benchSweep(b *testing.B, run func(*experiments.Env) (*experiments.Table, error), rowLabel string) {
+	e := env(b)
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		t, err := run(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		found := false
+		for _, row := range t.Rows {
+			if row[0] == rowLabel {
+				eff = cell(b, row[2])
+				found = true
+				break
+			}
+		}
+		if !found {
+			b.Fatalf("row %q not in table %q", rowLabel, t.Title)
+		}
+	}
+	b.ReportMetric(eff, "%eff_2step")
+}
+
+// BenchmarkFig7_1_EpochSize regenerates Figure 7.1 (effectiveness, group
+// size, runtime vs epoch size E); reports effectiveness at the default 3s.
+func BenchmarkFig7_1_EpochSize(b *testing.B) {
+	benchSweep(b, experiments.Fig71EpochSize, "3s")
+}
+
+// BenchmarkFig7_2_NumTenants regenerates Figure 7.2 (varying T); reports
+// effectiveness at the scale's default population.
+func BenchmarkFig7_2_NumTenants(b *testing.B) {
+	benchSweep(b, experiments.Fig72Tenants, strconv.Itoa(experiments.Small.Tenants))
+}
+
+// BenchmarkFig7_3_TenantDistribution regenerates Figure 7.3 (varying θ);
+// reports effectiveness at θ=0.8.
+func BenchmarkFig7_3_TenantDistribution(b *testing.B) {
+	benchSweep(b, experiments.Fig73Theta, "0.80")
+}
+
+// BenchmarkFig7_4_ReplicationFactor regenerates Figure 7.4 (varying R);
+// reports effectiveness at R=3.
+func BenchmarkFig7_4_ReplicationFactor(b *testing.B) {
+	benchSweep(b, experiments.Fig74Replication, "3")
+}
+
+// BenchmarkFig7_5_PerformanceSLA regenerates Figure 7.5 (varying P);
+// reports effectiveness at P=99.9%.
+func BenchmarkFig7_5_PerformanceSLA(b *testing.B) {
+	benchSweep(b, experiments.Fig75SLA, "99.9%")
+}
+
+// BenchmarkFig7_6_ActiveRatio regenerates Figure 7.6 (higher active tenant
+// ratios); reports effectiveness of the single-zone-no-lunch variant.
+func BenchmarkFig7_6_ActiveRatio(b *testing.B) {
+	benchSweep(b, experiments.Fig76ActiveRatio, "single-zone-no-lunch")
+}
+
+// BenchmarkFig7_7_ElasticScaling regenerates Figure 7.7: the take-over,
+// detection, carve-out, recovery timeline (both runs); reports the number
+// of scaling actions in the enabled run.
+func BenchmarkFig7_7_ElasticScaling(b *testing.B) {
+	e := env(b)
+	var events float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Fig77ElasticScaling(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		events = float64(len(res.Events.Rows))
+	}
+	b.ReportMetric(events, "scale_events")
+}
+
+// BenchmarkAblation_Solvers dissects the 2-step heuristic's advantage:
+// size-homogeneous grouping vs activity-aware selection vs neither, plus an
+// exact-optimum reference on a tiny subsample.
+func BenchmarkAblation_Solvers(b *testing.B) {
+	e := env(b)
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		t, err := experiments.AblationSolvers(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		eff = cell(b, t.Rows[0][1])
+	}
+	b.ReportMetric(eff, "%eff_2step")
+}
+
+// BenchmarkHeadline_Consolidation regenerates the banner result: nodes used
+// as a fraction of nodes requested under default parameters (paper: 18.7%),
+// plus the one-day SLA validation replay.
+func BenchmarkHeadline_Consolidation(b *testing.B) {
+	e := env(b)
+	var usedPct float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Headline(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Summary.Rows {
+			if row[0] == "nodes used / requested" {
+				usedPct = cell(b, row[1])
+			}
+		}
+	}
+	b.ReportMetric(usedPct, "%used_of_requested")
+}

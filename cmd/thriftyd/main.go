@@ -1,0 +1,83 @@
+// Command thriftyd runs the Thrifty MPPDB-as-a-Service front end: it
+// generates a tenant population, plans and deploys the consolidated
+// cluster, and serves the HTTP API (query submission, plan and group
+// inspection, tenant registration).
+//
+// The execution substrate is the virtual-time MPPDB simulator, paced
+// against the wall clock (default 60 virtual seconds per wall second).
+//
+// Usage:
+//
+//	thriftyd -addr :8080 -tenants 200
+//	curl -s localhost:8080/v1/plan | jq .
+//	curl -s -XPOST localhost:8080/v1/queries -d '{"tenant":"T0000","query":"TPCH-Q1"}'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	thrifty "repro"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8080", "listen address")
+		tenants   = flag.Int("tenants", 200, "number of tenants")
+		days      = flag.Int("days", 7, "history horizon used for planning")
+		r         = flag.Int("r", 3, "replication factor R")
+		p         = flag.Float64("p", 0.999, "performance SLA guarantee P")
+		timeScale = flag.Float64("timescale", 60, "virtual seconds per wall second")
+		seed      = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	fmt.Fprintf(os.Stderr, "thriftyd: generating %d tenants (%d-day history)...\n", *tenants, *days)
+	w, err := thrifty.GenerateWorkload(thrifty.WorkloadConfig{
+		Tenants:          *tenants,
+		Days:             *days,
+		SessionsPerClass: 10,
+		Seed:             *seed,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+
+	pcfg := thrifty.DefaultPlanConfig()
+	pcfg.R = *r
+	pcfg.P = *p
+	fmt.Fprintf(os.Stderr, "thriftyd: planning deployment (R=%d, P=%.4g%%)...\n", *r, 100**p)
+	start := time.Now()
+	plan, err := thrifty.PlanDeployment(w, pcfg)
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "thriftyd: %d groups on %d of %d requested nodes (%.1f%% saved) in %v\n",
+		len(plan.Groups), plan.NodesUsed(), plan.RequestedNodes,
+		100*plan.Effectiveness(), time.Since(start).Round(time.Millisecond))
+
+	sys, err := thrifty.Deploy(w, plan, thrifty.DeployOptions{
+		Immediate:    true,
+		ParallelLoad: true,
+		SpareNodes:   64,
+	})
+	if err != nil {
+		fatal("%v", err)
+	}
+	h, err := sys.Handler(thrifty.ServeOptions{TimeScale: *timeScale})
+	if err != nil {
+		fatal("%v", err)
+	}
+	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×)\n", *addr, *timeScale)
+	if err := http.ListenAndServe(*addr, h); err != nil {
+		fatal("%v", err)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "thriftyd: "+format+"\n", args...)
+	os.Exit(1)
+}

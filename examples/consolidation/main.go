@@ -1,0 +1,63 @@
+// Consolidation: the provider-side story. A larger MPPDBaaS population is
+// planned with the two-step tenant-grouping heuristic and with the FFD
+// baseline, across replication factors — reproducing the trade-offs of the
+// paper's chapter 7 on a laptop-scale population.
+//
+//	go run ./examples/consolidation [-tenants 800]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	thrifty "repro"
+	"repro/internal/advisor"
+	"repro/internal/epoch"
+	"repro/internal/workload"
+)
+
+func main() {
+	tenants := flag.Int("tenants", 800, "population size")
+	flag.Parse()
+
+	w, err := thrifty.GenerateWorkload(thrifty.WorkloadConfig{
+		Tenants:          *tenants,
+		Days:             7,
+		SessionsPerClass: 10,
+		Seed:             7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	grid, err := epoch.NewGrid(workload.MonitorEpoch, w.Horizon)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := workload.ComputeStats(w.Logs, grid)
+	fmt.Printf("population: %d tenants, active tenant ratio %.1f%% (per-minute), peak %d concurrent\n\n",
+		st.Tenants, 100*st.MeanActiveRatio, st.MaxActive)
+
+	fmt.Printf("%-8s %-8s %10s %10s %10s %10s %10s\n",
+		"algo", "R", "requested", "used", "saved", "groups", "time")
+	for _, algo := range []advisor.Algorithm{advisor.TwoStep, advisor.FFD} {
+		for _, r := range []int{1, 2, 3, 4} {
+			cfg := thrifty.DefaultPlanConfig()
+			cfg.Algorithm = algo
+			cfg.R = r
+			start := time.Now()
+			plan, err := thrifty.PlanDeployment(w, cfg)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%-8s %-8d %10d %10d %9.1f%% %10d %10v\n",
+				string(algo), r, plan.RequestedNodes, plan.NodesUsed(),
+				100*plan.Effectiveness(), len(plan.Groups),
+				time.Since(start).Round(time.Millisecond))
+		}
+	}
+	fmt.Println("\nNote: the paper's full-scale result (5000 tenants, 30-day logs) serves")
+	fmt.Println("all tenants on ~18.7% of requested nodes at R=3, P=99.9%; run")
+	fmt.Println("`go run ./cmd/thrifty-experiments -scale full -only headline` to reproduce it.")
+}

@@ -1,0 +1,59 @@
+// Quickstart: generate a small tenant population, plan a consolidated
+// deployment, bring it up on the simulated cluster, and replay a day of
+// queries — the whole Thrifty pipeline in one file.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	thrifty "repro"
+	"repro/internal/sim"
+)
+
+func main() {
+	// 1. Generate the testbed: 60 tenants with 7 days of office-hour
+	//    activity (the paper's §7.1 methodology, scaled down).
+	w, err := thrifty.GenerateWorkload(thrifty.WorkloadConfig{
+		Tenants:          60,
+		Days:             7,
+		SessionsPerClass: 8,
+		Seed:             42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated %d tenants, %d-day activity history\n", len(w.Logs), 7)
+
+	// 2. Plan: replication factor 3, 99.9% SLA guarantee, 10 s epochs.
+	plan, err := thrifty.PlanDeployment(w, thrifty.DefaultPlanConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("plan: %d tenant-groups, %d of %d requested nodes (%.1f%% saved)\n",
+		len(plan.Groups), plan.NodesUsed(), plan.RequestedNodes, 100*plan.Effectiveness())
+	for _, g := range plan.Groups[:min(3, len(plan.Groups))] {
+		fmt.Printf("  %s: %d tenants on %d MPPDBs × %d nodes (TTP %.4f)\n",
+			g.ID, len(g.TenantIDs), g.Design.A, g.Design.N1, g.TTP)
+	}
+
+	// 3. Deploy on a simulated cluster (instantly ready).
+	sys, err := thrifty.Deploy(w, plan, thrifty.DeployOptions{Immediate: true, SpareNodes: 16})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Replay the first day of logged queries through the query router.
+	rep, err := sys.Replay(thrifty.ReplayOptions{From: 0, To: sim.Day})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("replayed %d queries: %.2f%% met their latency SLA\n",
+		len(rep.Records), 100*rep.SLAAttainment())
+	for _, g := range sys.Deployment.Groups()[:min(3, len(sys.Deployment.Groups()))] {
+		fmt.Printf("  %s: RT-TTP %.4f, %d queries routed, %d overflowed to G0\n",
+			g.Plan.ID, g.Monitor.RTTTP(), g.Router.Routed(), g.Router.Overflowed())
+	}
+}

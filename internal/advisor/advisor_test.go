@@ -1,0 +1,202 @@
+package advisor
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/epoch"
+	"repro/internal/queries"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+	"repro/internal/workload"
+)
+
+// mkLog builds a synthetic tenant log with the given activity.
+func mkLog(id string, nodes int, act epoch.Activity) *workload.TenantLog {
+	return &workload.TenantLog{
+		Tenant: &tenant.Tenant{
+			ID: id, Nodes: nodes, DataGB: 100 * float64(nodes),
+			Users: 1, Suite: queries.TPCH,
+		},
+		Activity: act,
+	}
+}
+
+// officeLogs builds n tenants of the given size whose activities rotate
+// through k disjoint office windows of a one-day horizon — highly
+// consolidatable by construction.
+func officeLogs(n, nodes, k int) []*workload.TenantLog {
+	var out []*workload.TenantLog
+	for i := 0; i < n; i++ {
+		w := sim.Time(i%k) * 3 * sim.Hour
+		act := epoch.Activity{
+			{Start: w, End: w + 40*sim.Minute},
+			{Start: w + 1*sim.Hour, End: w + 100*sim.Minute},
+		}
+		out = append(out, mkLog(sname(i), nodes, act))
+	}
+	return out
+}
+
+func sname(i int) string { return "T" + string(rune('A'+i/26)) + string(rune('a'+i%26)) }
+
+func TestNewValidation(t *testing.T) {
+	bad := []Config{
+		{R: 0, P: 0.9, Epoch: sim.Second},
+		{R: 3, P: 0, Epoch: sim.Second},
+		{R: 3, P: 1.5, Epoch: sim.Second},
+		{R: 3, P: 0.9, Epoch: 0},
+		{R: 3, P: 0.9, Epoch: sim.Second, Algorithm: "simulated-annealing"},
+		{R: 3, P: 0.9, Epoch: sim.Second, UExtra: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(DefaultConfig()); err != nil {
+		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestPlanConsolidates(t *testing.T) {
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := officeLogs(24, 4, 8)
+	plan, err := a.Plan(logs, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.RequestedNodes != 24*4 {
+		t.Errorf("RequestedNodes = %d", plan.RequestedNodes)
+	}
+	if len(plan.Excluded) != 0 {
+		t.Errorf("unexpected exclusions: %+v", plan.Excluded)
+	}
+	if plan.Effectiveness() <= 0 {
+		t.Errorf("no consolidation: used %d of %d", plan.NodesUsed(), plan.RequestedNodes)
+	}
+	// Every tenant appears in exactly one group.
+	seen := map[string]int{}
+	for _, g := range plan.Groups {
+		if g.Design.A != 3 {
+			t.Errorf("group %s has A=%d, want R=3", g.ID, g.Design.A)
+		}
+		if g.Design.N1 != 4 {
+			t.Errorf("group %s n₁=%d, want 4", g.ID, g.Design.N1)
+		}
+		if g.TTP < 0.999 {
+			t.Errorf("group %s TTP %v < P", g.ID, g.TTP)
+		}
+		for _, id := range g.TenantIDs {
+			seen[id]++
+		}
+	}
+	for _, tl := range logs {
+		if seen[tl.Tenant.ID] != 1 {
+			t.Errorf("tenant %s appears %d times", tl.Tenant.ID, seen[tl.Tenant.ID])
+		}
+	}
+	// Group lookup.
+	if g, ok := plan.Group(logs[0].Tenant.ID); !ok || g == nil {
+		t.Error("Group lookup failed")
+	}
+	if _, ok := plan.Group("nope"); ok {
+		t.Error("Group found a ghost")
+	}
+	if plan.MeanGroupSize() <= 1 {
+		t.Errorf("mean group size %v", plan.MeanGroupSize())
+	}
+}
+
+func TestPlanExcludesAlwaysActive(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	logs := officeLogs(6, 2, 6)
+	logs = append(logs, mkLog("hog", 2, epoch.Activity{{Start: 0, End: sim.Day}}))
+	plan, err := a.Plan(logs, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Excluded) != 1 || plan.Excluded[0].TenantID != "hog" {
+		t.Fatalf("Excluded = %+v", plan.Excluded)
+	}
+	if !strings.Contains(plan.Excluded[0].Reason, "always active") {
+		t.Errorf("reason = %q", plan.Excluded[0].Reason)
+	}
+	if _, ok := plan.Group("hog"); ok {
+		t.Error("excluded tenant was still grouped")
+	}
+	// Requested nodes counts only consolidated tenants.
+	if plan.RequestedNodes != 12 {
+		t.Errorf("RequestedNodes = %d, want 12", plan.RequestedNodes)
+	}
+}
+
+func TestPlanExcludesOversized(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxDataGB = 1000
+	a, _ := New(cfg)
+	logs := officeLogs(4, 2, 4)
+	logs = append(logs, mkLog("whale", 16, epoch.Activity{{Start: 0, End: sim.Hour}}))
+	plan, err := a.Plan(logs, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Excluded) != 1 || plan.Excluded[0].TenantID != "whale" {
+		t.Fatalf("Excluded = %+v", plan.Excluded)
+	}
+	if !strings.Contains(plan.Excluded[0].Reason, "oversized") {
+		t.Errorf("reason = %q", plan.Excluded[0].Reason)
+	}
+}
+
+func TestPlanFFD(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algorithm = FFD
+	a, _ := New(cfg)
+	plan, err := a.Plan(officeLogs(12, 2, 6), sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Algorithm != "FFD" {
+		t.Errorf("algorithm = %q", plan.Algorithm)
+	}
+}
+
+func TestPlanUExtra(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.UExtra = 2
+	a, _ := New(cfg)
+	plan, err := a.Plan(officeLogs(6, 4, 6), sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, g := range plan.Groups {
+		if g.Design.U != g.Design.N1+2 {
+			t.Errorf("group %s U=%d, want n₁+2=%d", g.ID, g.Design.U, g.Design.N1+2)
+		}
+	}
+}
+
+func TestPlanEmpty(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	plan, err := a.Plan(nil, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) != 0 || plan.NodesUsed() != 0 || plan.Effectiveness() != 0 {
+		t.Errorf("empty plan wrong: %+v", plan)
+	}
+	if plan.MeanGroupSize() != 0 {
+		t.Error("mean group size of empty plan")
+	}
+}
+
+func TestPlanBadHorizon(t *testing.T) {
+	a, _ := New(DefaultConfig())
+	if _, err := a.Plan(nil, 0); err == nil {
+		t.Error("zero horizon accepted")
+	}
+}

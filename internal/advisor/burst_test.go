@@ -1,0 +1,126 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/epoch"
+	"repro/internal/sim"
+)
+
+// burstyActivity builds 28 days of light office activity plus heavy bursts
+// every periodDays.
+func burstyActivity(periodDays int) epoch.Activity {
+	var ivs []epoch.Interval
+	for d := 0; d < 28; d++ {
+		day := sim.Time(d) * sim.Day
+		if d%7 >= 5 {
+			continue // weekends off
+		}
+		// Light baseline: two 20-minute busy stretches.
+		ivs = append(ivs,
+			epoch.Interval{Start: day + 9*sim.Hour, End: day + 9*sim.Hour + 20*sim.Minute},
+			epoch.Interval{Start: day + 14*sim.Hour, End: day + 14*sim.Hour + 20*sim.Minute})
+		if periodDays > 0 && d%periodDays == 3 { // a Thursday, never a weekend
+			// Burst: 10 hours of near-continuous reporting.
+			ivs = append(ivs, epoch.Interval{Start: day + 8*sim.Hour, End: day + 18*sim.Hour})
+		}
+	}
+	return epoch.Normalize(ivs)
+}
+
+func TestDetectBurstsPeriodic(t *testing.T) {
+	p := DetectBursts(burstyActivity(7), 28*sim.Day)
+	if len(p.BurstDays) < 3 {
+		t.Fatalf("burst days = %v, want the weekly bursts", p.BurstDays)
+	}
+	if !p.Periodic {
+		t.Fatalf("weekly bursts not classified periodic: %+v", p)
+	}
+	if p.PeriodDays != 7 {
+		t.Errorf("period = %d days, want 7", p.PeriodDays)
+	}
+	if !p.PredictsBurstWithin(28, 7) {
+		t.Error("next weekly burst not predicted within a week")
+	}
+}
+
+func TestDetectBurstsNoneOnRegularTenant(t *testing.T) {
+	p := DetectBursts(burstyActivity(0), 28*sim.Day)
+	if len(p.BurstDays) != 0 || p.Periodic {
+		t.Errorf("regular office tenant flagged bursty: %+v", p)
+	}
+	if p.PredictsBurstWithin(28, 7) {
+		t.Error("regular tenant predicted to burst")
+	}
+}
+
+func TestDetectBurstsSingleSpikeNotPeriodic(t *testing.T) {
+	var ivs []epoch.Interval
+	for d := 0; d < 28; d++ {
+		day := sim.Time(d) * sim.Day
+		ivs = append(ivs, epoch.Interval{Start: day + 9*sim.Hour, End: day + 9*sim.Hour + 15*sim.Minute})
+	}
+	// One big one-off spike.
+	ivs = append(ivs, epoch.Interval{Start: 10*sim.Day + 8*sim.Hour, End: 10*sim.Day + 18*sim.Hour})
+	p := DetectBursts(epoch.Normalize(ivs), 28*sim.Day)
+	if p.Periodic {
+		t.Errorf("one-off spike classified periodic: %+v", p)
+	}
+	if len(p.BurstDays) != 1 || p.BurstDays[0] != 10 {
+		t.Errorf("burst days = %v, want [10]", p.BurstDays)
+	}
+}
+
+func TestDetectBurstsDegenerate(t *testing.T) {
+	if p := DetectBursts(nil, 0); len(p.DailyRatio) != 0 {
+		t.Error("zero horizon not degenerate")
+	}
+	if p := DetectBursts(nil, 5*sim.Day); len(p.BurstDays) != 0 {
+		t.Error("idle tenant has bursts")
+	}
+}
+
+func TestPredictRollsForward(t *testing.T) {
+	// A profile whose "next" burst is in the past rolls forward by periods.
+	p := BurstProfile{Periodic: true, PeriodDays: 7, NextBurstDay: 10}
+	if !p.PredictsBurstWithin(28, 7) {
+		t.Error("rolled-forward burst (day 31) not within [28, 35)")
+	}
+	if p.PredictsBurstWithin(28, 2) {
+		t.Error("burst on day 31 reported within [28, 30)")
+	}
+}
+
+// TestPlanExcludesBurstyTenant wires detection through the advisor.
+func TestPlanExcludesBurstyTenant(t *testing.T) {
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := officeLogs(6, 2, 6)
+	logs = append(logs, mkLog("fiscal", 2, burstyActivity(7)))
+	plan, err := a.Plan(logs, 28*sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range plan.Excluded {
+		if e.TenantID == "fiscal" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("bursty tenant not excluded; exclusions: %+v", plan.Excluded)
+	}
+	// Disabled lookahead keeps the tenant in.
+	cfg := DefaultConfig()
+	cfg.BurstLookaheadDays = 0
+	a2, _ := New(cfg)
+	plan2, err := a2.Plan(logs, 28*sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := plan2.Group("fiscal"); !ok {
+		t.Error("with lookahead disabled the bursty tenant should be consolidated")
+	}
+}

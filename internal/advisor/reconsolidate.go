@@ -1,0 +1,193 @@
+package advisor
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/epoch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Thrifty's deployment is "static for days"; a (re)-consolidation process
+// runs periodically because tenants register and de-register (§3c), and
+// because elastic scaling leaves behind groups that no longer match their
+// history (§5.1: "tenants in those tenant-groups will get added to a
+// re-consolidation list ... together with new tenants, over-active tenants,
+// and tenants in tenant-groups with de-registered tenants").
+//
+// Reconsolidation is deliberately incremental: groups that are unaffected —
+// not flagged by the scaler, no departed members, and still satisfying the
+// fuzzy-capacity constraint on fresh history — keep their exact placement,
+// so their tenants' data never moves. Everyone else is pooled and re-grouped
+// from scratch.
+
+// ReconsolidationInput describes one cycle.
+type ReconsolidationInput struct {
+	// Previous is the currently deployed plan.
+	Previous *Plan
+	// Logs is the *current* tenant population with fresh activity history:
+	// new tenants appear here, departed tenants do not.
+	Logs []*workload.TenantLog
+	// FlaggedGroups are group IDs the elastic scaler put on the
+	// re-consolidation list.
+	FlaggedGroups []string
+}
+
+// ReconsolidationReport summarizes the cycle's churn and migration cost.
+type ReconsolidationReport struct {
+	// KeptGroups kept their placement; their tenants' data does not move.
+	KeptGroups int
+	// RepackedTenants went through grouping again.
+	RepackedTenants int
+	// NewTenants joined the service this cycle.
+	NewTenants []string
+	// Departed left the service this cycle.
+	Departed []string
+	// MovedTenants ended up in a different group than before (new tenants
+	// included).
+	MovedTenants []string
+	// DataToMoveGB is the bulk-load volume the migration requires: each
+	// moved tenant's data loaded onto its new group's R MPPDBs.
+	DataToMoveGB float64
+	// MaxProvisionTime estimates the cycle's wall time: the slowest new
+	// group's startup + parallel bulk load (groups provision concurrently).
+	MaxProvisionTime time.Duration
+}
+
+// Reconsolidate computes the next deployment plan from the previous one.
+func (a *Advisor) Reconsolidate(in ReconsolidationInput, horizon sim.Time) (*Plan, *ReconsolidationReport, error) {
+	if in.Previous == nil {
+		return nil, nil, fmt.Errorf("advisor: reconsolidation without a previous plan")
+	}
+	grid, err := epoch.NewGrid(a.cfg.Epoch, horizon)
+	if err != nil {
+		return nil, nil, err
+	}
+	flagged := make(map[string]bool, len(in.FlaggedGroups))
+	for _, g := range in.FlaggedGroups {
+		flagged[g] = true
+	}
+	current := make(map[string]*workload.TenantLog, len(in.Logs))
+	for _, tl := range in.Logs {
+		current[tl.Tenant.ID] = tl
+	}
+
+	rep := &ReconsolidationReport{}
+	prevGroupOf := make(map[string]string)
+	prevMembers := make(map[string]bool)
+	for _, g := range in.Previous.Groups {
+		for _, id := range g.TenantIDs {
+			prevGroupOf[id] = g.ID
+			prevMembers[id] = true
+			if _, here := current[id]; !here {
+				rep.Departed = append(rep.Departed, id)
+			}
+		}
+	}
+	for _, e := range in.Previous.Excluded {
+		prevMembers[e.TenantID] = true
+		if _, here := current[e.TenantID]; !here {
+			rep.Departed = append(rep.Departed, e.TenantID)
+		}
+	}
+	for _, tl := range in.Logs {
+		if !prevMembers[tl.Tenant.ID] {
+			rep.NewTenants = append(rep.NewTenants, tl.Tenant.ID)
+		}
+	}
+	sort.Strings(rep.NewTenants)
+	sort.Strings(rep.Departed)
+
+	// Decide which groups survive.
+	next := &Plan{Config: a.cfg}
+	var repackLogs []*workload.TenantLog
+	for _, g := range in.Previous.Groups {
+		keep := !flagged[g.ID]
+		if keep {
+			// All members still present?
+			for _, id := range g.TenantIDs {
+				if _, here := current[id]; !here {
+					keep = false
+					break
+				}
+			}
+		}
+		if keep {
+			// Fresh-history feasibility check: if the group's recent
+			// activity now violates the fuzzy capacity, repack it rather
+			// than deploy a plan we already know is broken.
+			cs := epoch.NewCountSet(grid.D)
+			for _, id := range g.TenantIDs {
+				cs.Add(grid.Quantize(current[id].Activity))
+			}
+			if cs.TTP(a.cfg.R) < a.cfg.P {
+				keep = false
+			} else {
+				kept := g
+				kept.TTP = cs.TTP(a.cfg.R)
+				kept.MaxActive = cs.MaxCount()
+				next.Groups = append(next.Groups, kept)
+				rep.KeptGroups++
+				for _, id := range g.TenantIDs {
+					next.RequestedNodes += current[id].Tenant.Nodes
+				}
+			}
+		}
+		if !keep {
+			for _, id := range g.TenantIDs {
+				if tl, here := current[id]; here {
+					repackLogs = append(repackLogs, tl)
+				}
+			}
+		}
+	}
+	// New tenants and previously excluded tenants re-enter the pool.
+	for _, tl := range in.Logs {
+		if !prevMembers[tl.Tenant.ID] {
+			repackLogs = append(repackLogs, tl)
+		}
+	}
+	for _, e := range in.Previous.Excluded {
+		if tl, here := current[e.TenantID]; here {
+			repackLogs = append(repackLogs, tl)
+		}
+	}
+	rep.RepackedTenants = len(repackLogs)
+
+	// Re-plan the pool (exclusion rules apply afresh).
+	sub, err := a.Plan(repackLogs, horizon)
+	if err != nil {
+		return nil, nil, err
+	}
+	next.Excluded = sub.Excluded
+	next.RequestedNodes += sub.RequestedNodes
+	next.Algorithm = sub.Algorithm
+	next.SolveTime = sub.SolveTime
+	for i := range sub.Groups {
+		g := sub.Groups[i]
+		g.ID = fmt.Sprintf("TG-R%04d", i) // new-cycle namespace; avoids collisions
+		next.Groups = append(next.Groups, g)
+
+		// Migration accounting: members whose group changed must be bulk
+		// loaded onto the new group's R MPPDBs.
+		var groupGB float64
+		for _, id := range g.TenantIDs {
+			tl := current[id]
+			groupGB += tl.Tenant.DataGB
+			if prevGroupOf[id] != g.ID { // always true for the new namespace
+				rep.MovedTenants = append(rep.MovedTenants, id)
+				rep.DataToMoveGB += tl.Tenant.DataGB * float64(a.cfg.R)
+			}
+		}
+		prov := cluster.StartupTime(g.Design.N1) +
+			cluster.LoadTime(groupGB, g.Design.N1, true)
+		if prov > rep.MaxProvisionTime {
+			rep.MaxProvisionTime = prov
+		}
+	}
+	sort.Strings(rep.MovedTenants)
+	return next, rep, nil
+}

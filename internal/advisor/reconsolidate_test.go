@@ -1,0 +1,164 @@
+package advisor
+
+import (
+	"testing"
+
+	"repro/internal/epoch"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// reconWorld plans 12 tenants in 4 disjoint office windows.
+func reconWorld(t *testing.T) (*Advisor, *Plan, []*workload.TenantLog) {
+	t.Helper()
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	logs := officeLogs(12, 2, 4)
+	plan, err := a.Plan(logs, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a, plan, logs
+}
+
+func TestReconsolidateNoChurnKeepsEverything(t *testing.T) {
+	a, plan, logs := reconWorld(t)
+	next, rep, err := a.Reconsolidate(ReconsolidationInput{Previous: plan, Logs: logs}, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KeptGroups != len(plan.Groups) {
+		t.Errorf("kept %d of %d groups", rep.KeptGroups, len(plan.Groups))
+	}
+	if rep.RepackedTenants != 0 || len(rep.MovedTenants) != 0 || rep.DataToMoveGB != 0 {
+		t.Errorf("stable cycle reported churn: %+v", rep)
+	}
+	if next.NodesUsed() != plan.NodesUsed() {
+		t.Errorf("node usage changed without churn: %d vs %d", next.NodesUsed(), plan.NodesUsed())
+	}
+}
+
+func TestReconsolidateDeparture(t *testing.T) {
+	a, plan, prev := reconWorld(t)
+	// Remove one tenant from the population.
+	gone := plan.Groups[0].TenantIDs[0]
+	var logs []*workload.TenantLog
+	for _, tl := range prev {
+		if tl.Tenant.ID != gone {
+			logs = append(logs, tl)
+		}
+	}
+	next, rep, err := a.Reconsolidate(ReconsolidationInput{Previous: plan, Logs: logs}, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Departed) != 1 || rep.Departed[0] != gone {
+		t.Errorf("departed = %v, want [%s]", rep.Departed, gone)
+	}
+	// The departed tenant's groupmates get repacked.
+	want := len(plan.Groups[0].TenantIDs) - 1
+	if rep.RepackedTenants != want {
+		t.Errorf("repacked %d tenants, want %d", rep.RepackedTenants, want)
+	}
+	// Every surviving tenant is placed exactly once.
+	placed := map[string]int{}
+	for _, g := range next.Groups {
+		for _, id := range g.TenantIDs {
+			placed[id]++
+		}
+	}
+	for _, tl := range logs {
+		if placed[tl.Tenant.ID] != 1 {
+			t.Errorf("tenant %s placed %d times", tl.Tenant.ID, placed[tl.Tenant.ID])
+		}
+	}
+	if placed[gone] != 0 {
+		t.Error("departed tenant still placed")
+	}
+}
+
+func TestReconsolidateNewTenantAndFlaggedGroup(t *testing.T) {
+	a, plan, logs := reconWorld(t)
+	// A new tenant arrives with activity in window 0.
+	newbie := mkLog("Tnew", 2, epoch.Activity{
+		{Start: 10 * sim.Minute, End: 40 * sim.Minute},
+	})
+	logs = append(logs, newbie)
+	flag := plan.Groups[len(plan.Groups)-1].ID
+	next, rep, err := a.Reconsolidate(ReconsolidationInput{
+		Previous:      plan,
+		Logs:          logs,
+		FlaggedGroups: []string{flag},
+	}, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.NewTenants) != 1 || rep.NewTenants[0] != "Tnew" {
+		t.Errorf("new tenants = %v", rep.NewTenants)
+	}
+	if rep.KeptGroups != len(plan.Groups)-1 {
+		t.Errorf("kept %d groups, want %d (one flagged)", rep.KeptGroups, len(plan.Groups)-1)
+	}
+	// The new tenant must be placed and counted as moved (needs loading).
+	if _, ok := next.Group("Tnew"); !ok {
+		t.Fatal("new tenant not placed")
+	}
+	foundMoved := false
+	for _, id := range rep.MovedTenants {
+		if id == "Tnew" {
+			foundMoved = true
+		}
+	}
+	if !foundMoved {
+		t.Error("new tenant not in the moved list")
+	}
+	if rep.DataToMoveGB < newbie.Tenant.DataGB*float64(a.cfg.R) {
+		t.Errorf("DataToMoveGB = %.0f, must cover the new tenant's %g GB × R",
+			rep.DataToMoveGB, newbie.Tenant.DataGB)
+	}
+	if rep.MaxProvisionTime <= 0 {
+		t.Error("no provisioning estimate for the migration")
+	}
+}
+
+func TestReconsolidateRepacksNowInfeasibleGroup(t *testing.T) {
+	a, plan, prev := reconWorld(t)
+	// Make every member of group 0 continuously active in fresh history —
+	// the group's TTP collapses and it must be repacked even though it is
+	// not flagged and nobody departed. (A continuously active tenant also
+	// trips the always-active exclusion, which is fine: it must not stay in
+	// the kept group either way.)
+	g0 := map[string]bool{}
+	for _, id := range plan.Groups[0].TenantIDs {
+		g0[id] = true
+	}
+	var logs []*workload.TenantLog
+	for _, tl := range prev {
+		if g0[tl.Tenant.ID] {
+			tl = mkLog(tl.Tenant.ID, tl.Tenant.Nodes, epoch.Activity{{Start: 0, End: sim.Day}})
+		}
+		logs = append(logs, tl)
+	}
+	next, rep, err := a.Reconsolidate(ReconsolidationInput{Previous: plan, Logs: logs}, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KeptGroups != len(plan.Groups)-1 {
+		t.Errorf("kept %d groups, want %d (one infeasible)", rep.KeptGroups, len(plan.Groups)-1)
+	}
+	// The now-hot tenants end up excluded (always active), not grouped.
+	for id := range g0 {
+		if _, ok := next.Group(id); ok {
+			t.Errorf("always-active tenant %s still consolidated", id)
+		}
+	}
+}
+
+func TestReconsolidateRequiresPrevious(t *testing.T) {
+	a, _, logs := reconWorld(t)
+	if _, _, err := a.Reconsolidate(ReconsolidationInput{Logs: logs}, sim.Day); err == nil {
+		t.Error("missing previous plan accepted")
+	}
+}

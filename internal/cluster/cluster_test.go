@@ -1,0 +1,171 @@
+package cluster
+
+import "testing"
+
+func TestPoolAcquireRelease(t *testing.T) {
+	p := NewPool(10)
+	if p.Size() != 10 || p.CountState(Hibernated) != 10 {
+		t.Fatalf("fresh pool wrong: size=%d hib=%d", p.Size(), p.CountState(Hibernated))
+	}
+	nodes, err := p.Acquire("mppdb-0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("acquired %d nodes, want 4", len(nodes))
+	}
+	for _, nd := range nodes {
+		if nd.State != Active || nd.Owner != "mppdb-0" {
+			t.Errorf("node %d: state=%v owner=%q", nd.ID, nd.State, nd.Owner)
+		}
+	}
+	if p.CountState(Active) != 4 || p.CountState(Hibernated) != 6 {
+		t.Errorf("after acquire: active=%d hib=%d", p.CountState(Active), p.CountState(Hibernated))
+	}
+	if n := p.Release("mppdb-0"); n != 4 {
+		t.Errorf("released %d, want 4", n)
+	}
+	if p.CountState(Hibernated) != 10 {
+		t.Errorf("after release: hib=%d, want 10", p.CountState(Hibernated))
+	}
+}
+
+func TestPoolAcquireExhaustion(t *testing.T) {
+	p := NewPool(3)
+	if _, err := p.Acquire("a", 5); err == nil {
+		t.Fatal("over-acquire succeeded")
+	}
+	// Failure must not leak partial acquisitions.
+	if p.CountState(Active) != 0 {
+		t.Errorf("partial acquire leaked: %d active", p.CountState(Active))
+	}
+	if _, err := p.Acquire("a", 0); err == nil {
+		t.Error("zero-node acquire accepted")
+	}
+}
+
+func TestPoolFailAndReplace(t *testing.T) {
+	p := NewPool(5)
+	nodes, _ := p.Acquire("db", 3)
+	owner, err := p.Fail(nodes[1].ID)
+	if err != nil || owner != "db" {
+		t.Fatalf("Fail: owner=%q err=%v", owner, err)
+	}
+	if p.CountState(Failed) != 1 {
+		t.Errorf("failed count = %d", p.CountState(Failed))
+	}
+	repl, err := p.Replace(nodes[1].ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repl.Owner != "db" || repl.State != Active {
+		t.Errorf("replacement: %+v", repl)
+	}
+	// The failed node returns to the pool as hibernated.
+	if p.CountState(Failed) != 0 || p.CountState(Active) != 3 {
+		t.Errorf("after replace: failed=%d active=%d", p.CountState(Failed), p.CountState(Active))
+	}
+	// Error paths.
+	if _, err := p.Fail(99); err == nil {
+		t.Error("failing unknown node accepted")
+	}
+	if _, err := p.Fail(repl.ID); err != nil {
+		t.Error("failing active node rejected")
+	}
+	if _, err := p.Replace(nodes[0].ID); err == nil {
+		t.Error("replacing non-failed node accepted")
+	}
+	if _, err := p.Replace(-1); err == nil {
+		t.Error("replacing unknown node accepted")
+	}
+}
+
+func TestOwners(t *testing.T) {
+	p := NewPool(10)
+	p.Acquire("b", 2)
+	p.Acquire("a", 2)
+	owners := p.Owners()
+	if len(owners) != 2 || owners[0] != "a" || owners[1] != "b" {
+		t.Errorf("Owners = %v, want [a b]", owners)
+	}
+}
+
+// TestStartupTimeMatchesTable51 pins the provisioning model to the paper's
+// Table 5.1 "Node Starting & MPPDB Initialization" column within 12%.
+func TestStartupTimeMatchesTable51(t *testing.T) {
+	paper := map[int]float64{2: 462, 4: 850, 6: 1248, 8: 1504, 10: 1779}
+	for n, want := range paper {
+		got := StartupTime(n).Seconds()
+		if rel := abs(got-want) / want; rel > 0.12 {
+			t.Errorf("StartupTime(%d) = %.0fs, paper %.0fs (%.0f%% off)", n, got, want, rel*100)
+		}
+	}
+	if StartupTime(0) != 0 {
+		t.Error("StartupTime(0) != 0")
+	}
+}
+
+// TestLoadTimeMatchesTable51 pins the serial bulk-loading model to the
+// paper's Table 5.1 "Bulk Loading" column within 12% (1 TB = 1024 GB there).
+func TestLoadTimeMatchesTable51(t *testing.T) {
+	paper := []struct {
+		gb   float64
+		want float64
+	}{
+		{200, 10172}, {400, 20302}, {600, 30121}, {800, 40853}, {1024, 50446},
+	}
+	for _, c := range paper {
+		got := LoadTime(c.gb, 2, false).Seconds()
+		if rel := abs(got-c.want) / c.want; rel > 0.12 {
+			t.Errorf("LoadTime(%vGB) = %.0fs, paper %.0fs (%.0f%% off)", c.gb, got, c.want, rel*100)
+		}
+	}
+	if LoadTime(0, 4, true) != 0 {
+		t.Error("LoadTime(0) != 0")
+	}
+}
+
+// TestParallelLoadMatchesFig77 reproduces the elastic-scaling load in §7.5:
+// a 4-node tenant's 400 GB loads in about 5000 s with parallel loading.
+func TestParallelLoadMatchesFig77(t *testing.T) {
+	got := LoadTime(400, 4, true).Seconds()
+	if got < 4000 || got > 6000 {
+		t.Errorf("parallel LoadTime(400GB, 4 nodes) = %.0fs, paper ≈5000s", got)
+	}
+	// Parallel loading must beat serial loading on multi-node instances.
+	if LoadTime(400, 4, true) >= LoadTime(400, 4, false) {
+		t.Error("parallel load not faster than serial")
+	}
+	// ... and be identical on a single node.
+	if LoadTime(400, 1, true) != LoadTime(400, 1, false) {
+		t.Error("single-node parallel load differs from serial")
+	}
+}
+
+func TestProvisionTime(t *testing.T) {
+	want := StartupTime(4) + LoadTime(400, 4, true)
+	if got := ProvisionTime(400, 4, true); got != want {
+		t.Errorf("ProvisionTime = %v, want %v", got, want)
+	}
+	// Load time dominates startup for real tenant sizes (§5.1's motivation
+	// for lightweight scaling).
+	if LoadTime(1024, 10, false) < 10*StartupTime(10) {
+		t.Error("serial load should dominate startup by an order of magnitude")
+	}
+}
+
+func TestNodeStateString(t *testing.T) {
+	if Hibernated.String() != "hibernated" || Active.String() != "active" || Failed.String() != "failed" {
+		t.Error("state names wrong")
+	}
+	if NodeState(9).String() == "" {
+		t.Error("unknown state empty")
+	}
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,242 @@
+// Package divergent implements the specialized tenant-driven design the
+// thesis sketches as future work (§8) for its second tenant class: tenants
+// that never submit ad-hoc queries — report-generation applications whose
+// query templates are known up front.
+//
+// For those tenants Thrifty can (a) size the tuning MPPDB G₀ with U > n₁
+// nodes *upfront* so that several concurrently active tenants can share it
+// without SLA violations (instead of reacting with elastic scaling), and
+// (b) give each of the group's A MPPDBs a *different physical design*
+// (divergent design, after Consens et al., SIGMOD 2012): each replica's
+// tables are partitioned to favour a subset of the templates, which removes
+// the repartitioning (shuffle) cost for aligned queries — exactly the cost
+// that makes non-linear templates stop scaling out.
+//
+// The crux the thesis names — "identify the minimum value of U that can
+// afford different degrees of concurrent query processing on MPPDB₀ without
+// performance SLA violations" — is MinU below: under processor sharing, k
+// concurrent queries on a U-node MPPDB each run k× slower than alone, so U
+// must satisfy k · L(template, U) ≤ L(template, nᵢ) for every member
+// template.
+package divergent
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/queries"
+)
+
+// Template is one known query template of a report-generation tenant.
+type Template struct {
+	// Class is the underlying query class.
+	Class *queries.Class
+	// Tenant identifies the owning tenant.
+	Tenant string
+	// DataGB is the owning tenant's data volume.
+	DataGB float64
+	// RequestedNodes is the owning tenant's nᵢ — the SLA reference.
+	RequestedNodes int
+}
+
+// SLATarget returns the template's latency entitlement: isolated execution
+// on the tenant's requested configuration.
+func (t Template) SLATarget() float64 {
+	return t.Class.Latency(t.DataGB, t.RequestedNodes).Seconds()
+}
+
+// alignedLatency returns the template's isolated latency on an n-node MPPDB
+// whose physical design is partition-aligned with it: co-partitioned tables
+// make the repartitioning shuffle unnecessary and halve coordination.
+func (t Template) alignedLatency(n int) float64 {
+	c := *t.Class
+	c.ShufSecGB = 0
+	c.CoordSec /= 2
+	return c.Latency(t.DataGB, n).Seconds()
+}
+
+// latency returns the template's isolated latency on an unaligned n-node
+// MPPDB.
+func (t Template) latency(n int) float64 {
+	return t.Class.Latency(t.DataGB, n).Seconds()
+}
+
+// MinU returns the smallest U ≤ maxU such that k concurrently executing
+// member templates on a U-node MPPDB (processor sharing: each k× slower)
+// all still meet their SLA. The bool reports feasibility: templates with
+// plateauing scale-out may not admit any U — the very problem divergent
+// physical designs address.
+func MinU(templates []Template, k, maxU int) (int, bool) {
+	if k < 1 || len(templates) == 0 {
+		return 0, false
+	}
+	minNodes := 1
+	for _, t := range templates {
+		if t.RequestedNodes > minNodes {
+			minNodes = t.RequestedNodes
+		}
+	}
+	for u := minNodes; u <= maxU; u++ {
+		ok := true
+		for _, t := range templates {
+			if float64(k)*t.latency(u) > t.SLATarget() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return u, true
+		}
+	}
+	return 0, false
+}
+
+// MinUAligned is MinU under the assumption that every template runs on a
+// partition-aligned replica (shuffle removed). Non-linear templates become
+// tractable: the component that refused to shrink with U is gone.
+func MinUAligned(templates []Template, k, maxU int) (int, bool) {
+	if k < 1 || len(templates) == 0 {
+		return 0, false
+	}
+	minNodes := 1
+	for _, t := range templates {
+		if t.RequestedNodes > minNodes {
+			minNodes = t.RequestedNodes
+		}
+	}
+	for u := minNodes; u <= maxU; u++ {
+		ok := true
+		for _, t := range templates {
+			if float64(k)*t.alignedLatency(u) > t.SLATarget() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return u, true
+		}
+	}
+	return 0, false
+}
+
+// Design is a divergent cluster design for one report-only tenant-group.
+type Design struct {
+	// A is the number of MPPDBs (= replication factor).
+	A int
+	// N1 is the largest member's requested node count.
+	N1 int
+	// U is the upfront-widened tuning MPPDB size.
+	U int
+	// MaxConcurrency is the number of concurrently active tenants G₀ can
+	// absorb without SLA violations.
+	MaxConcurrency int
+	// Assignment maps each template (by Class.ID + Tenant) to the replica
+	// index whose physical design is aligned with it. Replica 0 is G₀.
+	Assignment map[string]int
+}
+
+// key identifies a template within a group.
+func key(t Template) string { return t.Tenant + "/" + t.Class.ID }
+
+// Plan computes a divergent design: it balances templates across the A
+// replicas (each replica's partition scheme favours its assigned templates,
+// heaviest templates spread first), then finds the minimum U that lets G₀
+// absorb extraConcurrency concurrently active tenants beyond the A
+// guaranteed by TDD. maxU caps the search.
+func Plan(templates []Template, a int, extraConcurrency, maxU int) (*Design, error) {
+	if a < 1 {
+		return nil, fmt.Errorf("divergent: A=%d", a)
+	}
+	if len(templates) == 0 {
+		return nil, fmt.Errorf("divergent: no templates")
+	}
+	d := &Design{A: a, Assignment: make(map[string]int, len(templates))}
+	for _, t := range templates {
+		if t.RequestedNodes > d.N1 {
+			d.N1 = t.RequestedNodes
+		}
+	}
+
+	// Balance templates across replicas by descending unaligned latency on
+	// the group MPPDB size: the worst-scaling template gets first pick.
+	order := make([]int, len(templates))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(x, y int) bool {
+		return templates[order[x]].latency(d.N1) > templates[order[y]].latency(d.N1)
+	})
+	load := make([]float64, a)
+	for _, idx := range order {
+		t := templates[idx]
+		best := 0
+		for r := 1; r < a; r++ {
+			if load[r] < load[best] {
+				best = r
+			}
+		}
+		d.Assignment[key(t)] = best
+		load[best] += t.latency(d.N1)
+	}
+
+	// Size G₀: it must carry 1 tenant at SLA speed (TDD's own requirement)
+	// plus the requested extra concurrency. Aligned latencies apply only to
+	// templates assigned to replica 0; the rest run unaligned on G₀ when
+	// they overflow there.
+	want := 1 + extraConcurrency
+	u := d.N1
+	for ; u <= maxU; u++ {
+		ok := true
+		for _, t := range templates {
+			var lat float64
+			if d.Assignment[key(t)] == 0 {
+				lat = t.alignedLatency(u)
+			} else {
+				lat = t.latency(u)
+			}
+			if float64(want)*lat > t.SLATarget() {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			break
+		}
+	}
+	if u > maxU {
+		return nil, fmt.Errorf("divergent: no U ≤ %d supports %d concurrent tenants", maxU, want)
+	}
+	d.U = u
+	// Report the actual concurrency the chosen U affords (it may exceed the
+	// request when the next feasible U jumps past it).
+	d.MaxConcurrency = want
+	for {
+		ok := true
+		for _, t := range templates {
+			var lat float64
+			if d.Assignment[key(t)] == 0 {
+				lat = t.alignedLatency(u)
+			} else {
+				lat = t.latency(u)
+			}
+			if float64(d.MaxConcurrency+1)*lat > t.SLATarget() {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			break
+		}
+		d.MaxConcurrency++
+	}
+	return d, nil
+}
+
+// Replica returns the replica index aligned with the template, or 0 when
+// the template is unknown (G₀ is the safe default).
+func (d *Design) Replica(tenantID, classID string) int {
+	return d.Assignment[tenantID+"/"+classID]
+}
+
+// TotalNodes returns the design's node consumption: U + (A−1)·n₁.
+func (d *Design) TotalNodes() int { return d.U + (d.A-1)*d.N1 }

@@ -1,0 +1,159 @@
+package divergent
+
+import (
+	"testing"
+
+	"repro/internal/queries"
+)
+
+func tmpl(t *testing.T, classID, tenant string, nodes int) Template {
+	t.Helper()
+	cl, ok := queries.Default().ByID(classID)
+	if !ok {
+		t.Fatalf("no class %s", classID)
+	}
+	return Template{
+		Class:          cl,
+		Tenant:         tenant,
+		DataGB:         100 * float64(nodes),
+		RequestedNodes: nodes,
+	}
+}
+
+func TestMinULinearTemplates(t *testing.T) {
+	// Q1 and Q6 scale out nearly linearly: doubling the nodes roughly
+	// halves the latency, so k=2 concurrent queries need roughly 2× nodes.
+	ts := []Template{tmpl(t, "TPCH-Q1", "a", 4), tmpl(t, "TPCH-Q6", "b", 4)}
+	u1, ok := MinU(ts, 1, 64)
+	if !ok || u1 != 4 {
+		t.Fatalf("MinU(k=1) = %d,%v — one query at requested size must just fit", u1, ok)
+	}
+	u2, ok := MinU(ts, 2, 64)
+	if !ok {
+		t.Fatal("k=2 infeasible for linear templates")
+	}
+	if u2 < 7 || u2 > 16 {
+		t.Errorf("MinU(k=2) = %d, want roughly 2× the requested 4 nodes", u2)
+	}
+	u3, ok := MinU(ts, 3, 128)
+	if !ok || u3 <= u2 {
+		t.Errorf("MinU(k=3) = %d,%v — must exceed MinU(k=2)=%d", u3, ok, u2)
+	}
+}
+
+// TestMinUNonLinearInfeasible reproduces the §8 motivation: a plateauing
+// template (Q19's shuffle/coordination floor) cannot be fixed by any U —
+// extra nodes stop helping — so concurrent processing on G₀ is impossible
+// without changing the physical design.
+func TestMinUNonLinearInfeasible(t *testing.T) {
+	ts := []Template{tmpl(t, "TPCH-Q19", "a", 4)}
+	if _, ok := MinU(ts, 3, 256); ok {
+		t.Fatal("k=3 for a plateauing template should be infeasible at any U")
+	}
+	// With an aligned partition scheme the shuffle disappears and the
+	// template scales again: a feasible U exists.
+	if u, ok := MinUAligned(ts, 3, 256); !ok {
+		t.Fatal("aligned k=3 infeasible — divergent design should fix the plateau")
+	} else if u <= 4 {
+		t.Errorf("aligned MinU = %d, want more than the requested size", u)
+	}
+}
+
+func TestMinUDegenerate(t *testing.T) {
+	if _, ok := MinU(nil, 2, 64); ok {
+		t.Error("no templates accepted")
+	}
+	if _, ok := MinU([]Template{tmpl(t, "TPCH-Q1", "a", 2)}, 0, 64); ok {
+		t.Error("k=0 accepted")
+	}
+	if _, ok := MinUAligned(nil, 2, 64); ok {
+		t.Error("aligned: no templates accepted")
+	}
+	if _, ok := MinUAligned([]Template{tmpl(t, "TPCH-Q1", "a", 2)}, 0, 64); ok {
+		t.Error("aligned: k=0 accepted")
+	}
+}
+
+func TestPlanBalancesAndSizes(t *testing.T) {
+	ts := []Template{
+		tmpl(t, "TPCH-Q1", "a", 4),
+		tmpl(t, "TPCH-Q6", "a", 4),
+		tmpl(t, "TPCH-Q19", "b", 4),
+		tmpl(t, "TPCDS-Q3", "b", 4),
+		tmpl(t, "TPCH-Q12", "c", 4),
+		tmpl(t, "TPCDS-Q96", "c", 4),
+	}
+	d, err := Plan(ts, 3, 1, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.A != 3 || d.N1 != 4 {
+		t.Errorf("design header: %+v", d)
+	}
+	if d.U < d.N1 {
+		t.Errorf("U = %d below n₁", d.U)
+	}
+	if d.MaxConcurrency < 2 {
+		t.Errorf("MaxConcurrency = %d, want the requested 1+1", d.MaxConcurrency)
+	}
+	if d.TotalNodes() != d.U+2*d.N1 {
+		t.Errorf("TotalNodes = %d", d.TotalNodes())
+	}
+	// Every template is assigned to a valid replica; assignments spread.
+	used := map[int]bool{}
+	for _, tp := range ts {
+		r := d.Replica(tp.Tenant, tp.Class.ID)
+		if r < 0 || r >= d.A {
+			t.Fatalf("template %s/%s on replica %d", tp.Tenant, tp.Class.ID, r)
+		}
+		used[r] = true
+	}
+	if len(used) < 2 {
+		t.Errorf("assignments did not spread: %v", d.Assignment)
+	}
+	// Unknown template defaults to G₀.
+	if d.Replica("nobody", "TPCH-Q1") != 0 {
+		t.Error("unknown template should default to replica 0")
+	}
+}
+
+func TestPlanErrors(t *testing.T) {
+	ts := []Template{tmpl(t, "TPCH-Q1", "a", 4)}
+	if _, err := Plan(ts, 0, 1, 64); err == nil {
+		t.Error("A=0 accepted")
+	}
+	if _, err := Plan(nil, 3, 1, 64); err == nil {
+		t.Error("no templates accepted")
+	}
+	// Impossible concurrency with a tiny U cap.
+	if _, err := Plan(ts, 3, 50, 5); err == nil {
+		t.Error("infeasible U cap accepted")
+	}
+}
+
+// TestPlanUpfrontBeatsReactive pins the §8 claim: for report-only tenants
+// the divergent design affords concurrent processing on G₀ (fewer elastic
+// scalings) at a modest node premium over the plain TDD design.
+func TestPlanUpfrontBeatsReactive(t *testing.T) {
+	ts := []Template{
+		tmpl(t, "TPCH-Q1", "a", 4),
+		tmpl(t, "TPCH-Q12", "b", 4),
+		tmpl(t, "TPCDS-Q96", "c", 4),
+	}
+	d, err := Plan(ts, 3, 2, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain := 3 * 4 // TDD: A·n₁
+	if d.TotalNodes() <= plain {
+		t.Logf("divergent design is free here (U=%d)", d.U)
+	}
+	// The premium buys ≥3 concurrent tenants on G₀ vs TDD's 1.
+	if d.MaxConcurrency < 3 {
+		t.Errorf("MaxConcurrency = %d, want ≥3", d.MaxConcurrency)
+	}
+	// And it must not be absurd: less than 4× the plain design.
+	if d.TotalNodes() > 4*plain {
+		t.Errorf("divergent design costs %d nodes vs plain %d", d.TotalNodes(), plain)
+	}
+}

@@ -1,0 +1,345 @@
+package epoch
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CountSet maintains the per-epoch active-tenant count of a tenant-group as
+// tenants are added, without storing one slot per epoch. It supports the two
+// queries the grouping heuristic needs:
+//
+//   - Preview(spans): the transition vector of adding a candidate tenant,
+//     from which the new active-count histogram, the new maximum, and the new
+//     TTP all follow in O(max count);
+//   - Add(spans): commit the candidate.
+//
+// Internally the count function is a sorted list of segments with count ≥ 1;
+// epochs outside every segment have count 0.
+type CountSet struct {
+	d    int64      // total epochs in the horizon
+	segs []countSeg // disjoint, sorted, count ≥ 1, no equal-count adjacency
+	hist []int64    // hist[c] = number of epochs with count c, c ≥ 1
+	n    int        // number of activities added
+}
+
+type countSeg struct {
+	s, e int32
+	c    int32
+}
+
+// NewCountSet returns an empty count function over d epochs.
+func NewCountSet(d int64) *CountSet {
+	if d <= 0 {
+		panic(fmt.Sprintf("epoch: non-positive epoch count %d", d))
+	}
+	return &CountSet{d: d, hist: make([]int64, 1)}
+}
+
+// D returns the number of epochs in the horizon.
+func (cs *CountSet) D() int64 { return cs.d }
+
+// Size returns the number of activities (tenants) added so far.
+func (cs *CountSet) Size() int { return cs.n }
+
+// MaxCount returns the current maximum active count over all epochs.
+func (cs *CountSet) MaxCount() int { return len(cs.hist) - 1 }
+
+// EpochsAt returns the number of epochs whose active count is exactly c.
+func (cs *CountSet) EpochsAt(c int) int64 {
+	if c == 0 {
+		var busy int64
+		for _, h := range cs.hist {
+			busy += h
+		}
+		return cs.d - busy
+	}
+	if c < 0 || c >= len(cs.hist) {
+		return 0
+	}
+	return cs.hist[c]
+}
+
+// Hist returns a copy of the histogram indexed by active count; index 0 is
+// the number of fully idle epochs.
+func (cs *CountSet) Hist() []int64 {
+	out := make([]int64, len(cs.hist))
+	copy(out, cs.hist)
+	if len(out) == 0 {
+		out = []int64{0}
+	}
+	out[0] = cs.EpochsAt(0)
+	return out
+}
+
+// OverCount returns the number of epochs with active count strictly greater
+// than r.
+func (cs *CountSet) OverCount(r int) int64 {
+	var over int64
+	for c := r + 1; c < len(cs.hist); c++ {
+		over += cs.hist[c]
+	}
+	return over
+}
+
+// TTP returns the Total Time Percentage (thesis §5): the fraction of epochs
+// whose active count is at most r, in [0, 1].
+func (cs *CountSet) TTP(r int) float64 {
+	return float64(cs.d-cs.OverCount(r)) / float64(cs.d)
+}
+
+// Transition describes the effect of adding one candidate's spans: Up[c] is
+// the number of epochs whose count would rise from c to c+1. Σ Up[c] equals
+// the candidate's active epoch count (spans clipped to the grid).
+type Transition struct {
+	Up []int64
+}
+
+// NewOver returns the number of epochs that would exceed count r after the
+// transition, given the set's current state.
+func (cs *CountSet) NewOver(r int, tr Transition) int64 {
+	over := cs.OverCount(r)
+	if r < len(tr.Up) {
+		over += tr.Up[r]
+	}
+	return over
+}
+
+// NewTTP returns the TTP at threshold r after applying tr.
+func (cs *CountSet) NewTTP(r int, tr Transition) float64 {
+	return float64(cs.d-cs.NewOver(r, tr)) / float64(cs.d)
+}
+
+// NewMax returns the maximum active count after applying tr.
+func (cs *CountSet) NewMax(tr Transition) int {
+	m := cs.MaxCount()
+	for c := len(tr.Up) - 1; c >= 0; c-- {
+		if tr.Up[c] > 0 {
+			if c+1 > m {
+				m = c + 1
+			}
+			break
+		}
+	}
+	return m
+}
+
+// NewHist returns the histogram (indices ≥ 1) after applying tr.
+func (cs *CountSet) NewHist(tr Transition) []int64 {
+	max := cs.NewMax(tr)
+	out := make([]int64, max+1)
+	copy(out, cs.hist)
+	for c, up := range tr.Up {
+		if up == 0 {
+			continue
+		}
+		out[c] -= up // hist[0] slot is unused for c==0; fixed below
+		out[c+1] += up
+	}
+	if len(out) > 0 {
+		out[0] = 0
+	}
+	// Recompute idle epochs.
+	var busy int64
+	for c := 1; c < len(out); c++ {
+		busy += out[c]
+	}
+	out[0] = cs.d - busy
+	return out
+}
+
+// Preview computes the transition vector of adding sp without modifying the
+// set. sp must be valid (see Spans.Valid) and within [0, D).
+func (cs *CountSet) Preview(sp Spans) Transition {
+	up := make([]int64, cs.MaxCount()+1)
+	segs := cs.segs
+	// Index of the first segment that could overlap the current span.
+	si := 0
+	for _, s := range sp {
+		// Advance si to the first segment ending after s.S. Binary search
+		// when far away, linear otherwise: spans arrive in order, so the
+		// cursor only moves forward.
+		if si < len(segs) && segs[si].e <= s.S {
+			j := sort.Search(len(segs)-si, func(k int) bool { return segs[si+k].e > s.S })
+			si = si + j
+		}
+		cur := s.S
+		k := si
+		for cur < s.E {
+			if k >= len(segs) || segs[k].s >= s.E {
+				// Remaining range is all idle.
+				up[0] += int64(s.E - cur)
+				break
+			}
+			seg := segs[k]
+			if seg.s > cur {
+				// Idle gap before the segment.
+				gapEnd := seg.s
+				if gapEnd > s.E {
+					gapEnd = s.E
+				}
+				up[0] += int64(gapEnd - cur)
+				cur = gapEnd
+				if cur >= s.E {
+					break
+				}
+			}
+			// Overlap with segment k.
+			lo := cur
+			if seg.s > lo {
+				lo = seg.s
+			}
+			hi := s.E
+			if seg.e < hi {
+				hi = seg.e
+			}
+			if hi > lo {
+				up[seg.c] += int64(hi - lo)
+				cur = hi
+			}
+			if seg.e <= s.E {
+				k++
+			}
+		}
+	}
+	return Transition{Up: up}
+}
+
+// Add commits sp into the count function. sp must be valid and within
+// [0, D).
+func (cs *CountSet) Add(sp Spans) {
+	if len(sp) == 0 {
+		cs.n++
+		return
+	}
+	newSegs := make([]countSeg, 0, len(cs.segs)+2*len(sp))
+	segs := cs.segs
+	si := 0
+	emit := func(s, e, c int32) {
+		if e <= s || c == 0 {
+			return
+		}
+		if n := len(newSegs); n > 0 && newSegs[n-1].e == s && newSegs[n-1].c == c {
+			newSegs[n-1].e = e
+			return
+		}
+		newSegs = append(newSegs, countSeg{s, e, c})
+	}
+	for _, s := range sp {
+		// Copy segments that end before this span starts.
+		for si < len(segs) && segs[si].e <= s.S {
+			seg := segs[si]
+			emit(seg.s, seg.e, seg.c)
+			si++
+		}
+		// A segment may straddle the span start: split it.
+		if si < len(segs) && segs[si].s < s.S {
+			emit(segs[si].s, s.S, segs[si].c)
+			segs[si].s = s.S // consume the head; remainder handled below
+		}
+		cur := s.S
+		for cur < s.E {
+			if si >= len(segs) || segs[si].s >= s.E {
+				emit(cur, s.E, 1)
+				cur = s.E
+				break
+			}
+			seg := segs[si]
+			if seg.s > cur {
+				emit(cur, seg.s, 1)
+				cur = seg.s
+			}
+			hi := s.E
+			if seg.e < hi {
+				hi = seg.e
+			}
+			emit(cur, hi, seg.c+1)
+			cur = hi
+			if seg.e <= s.E {
+				si++
+			} else {
+				segs[si].s = s.E // tail of the straddling segment
+			}
+		}
+		// Update the histogram incrementally using the same walk? Done below
+		// via transition for clarity.
+	}
+	// Copy the remaining untouched segments.
+	for si < len(segs) {
+		seg := segs[si]
+		emit(seg.s, seg.e, seg.c)
+		si++
+	}
+	// Update histogram from the transition (computed before mutation order
+	// matters: Preview only reads cs.segs, which we have not replaced yet —
+	// but we mutated segs[si].s in place above, so recompute from newSegs).
+	hist := make([]int64, 1)
+	for _, seg := range newSegs {
+		for int(seg.c) >= len(hist) {
+			hist = append(hist, 0)
+		}
+		hist[seg.c] += int64(seg.e - seg.s)
+	}
+	cs.segs = newSegs
+	cs.hist = hist
+	cs.n++
+}
+
+// clone returns a deep copy; used by the grouping search when it needs to
+// explore tentative additions.
+func (cs *CountSet) clone() *CountSet {
+	out := &CountSet{d: cs.d, n: cs.n}
+	out.segs = append([]countSeg(nil), cs.segs...)
+	out.hist = append([]int64(nil), cs.hist...)
+	return out
+}
+
+// Clone returns a deep copy of the count set.
+func (cs *CountSet) Clone() *CountSet { return cs.clone() }
+
+// Counts expands the count function into a dense []int32 of length D. For
+// tests and diagnostics only.
+func (cs *CountSet) Counts() []int32 {
+	out := make([]int32, cs.d)
+	for _, seg := range cs.segs {
+		for i := seg.s; i < seg.e; i++ {
+			out[i] = seg.c
+		}
+	}
+	return out
+}
+
+// CompareNewHists orders two candidate outcomes by the paper's T_best rule
+// (§5, Fig 5.3): prefer the candidate whose resulting histogram, read from
+// the highest active count downward, is lexicographically smaller — i.e.
+// first minimize the new maximum number of active tenants, then the time
+// share at that maximum, then at the next level down, and so on. Returns a
+// negative number when a is preferable, positive when b is, 0 on a tie.
+func CompareNewHists(a, b []int64) int {
+	maxA, maxB := len(a)-1, len(b)-1
+	for maxA > 0 && a[maxA] == 0 {
+		maxA--
+	}
+	for maxB > 0 && b[maxB] == 0 {
+		maxB--
+	}
+	if maxA != maxB {
+		return maxA - maxB
+	}
+	for c := maxA; c >= 1; c-- {
+		av, bv := int64(0), int64(0)
+		if c < len(a) {
+			av = a[c]
+		}
+		if c < len(b) {
+			bv = b[c]
+		}
+		if av != bv {
+			if av < bv {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}

@@ -1,0 +1,58 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/divergent"
+)
+
+// DivergentDesign quantifies the §8 future-work extension for report-only
+// tenants with known templates: how many concurrently active tenants a
+// single upfront-widened G₀ can absorb at each U, with and without
+// partition-aligned (divergent) physical designs — versus plain TDD, where
+// absorbing a k-th concurrent tenant means reactively provisioning a whole
+// new MPPDB (hours of bulk loading, §5.1).
+func DivergentDesign(env *Env) (*Table, error) {
+	cat := env.Cat
+	mk := func(classID, tenant string, nodes int) divergent.Template {
+		cl, ok := cat.ByID(classID)
+		if !ok {
+			panic("missing class " + classID)
+		}
+		return divergent.Template{
+			Class:          cl,
+			Tenant:         tenant,
+			DataGB:         100 * float64(nodes),
+			RequestedNodes: nodes,
+		}
+	}
+	// A 4-node report-generation group mixing linear and non-linear
+	// templates (the non-linear ones are why plain scale-up fails).
+	templates := []divergent.Template{
+		mk("TPCH-Q1", "T1", 4),
+		mk("TPCH-Q6", "T1", 4),
+		mk("TPCH-Q19", "T2", 4),
+		mk("TPCH-Q12", "T2", 4),
+		mk("TPCDS-Q3", "T3", 4),
+		mk("TPCDS-Q96", "T3", 4),
+	}
+	t := &Table{
+		Title: "Divergent design (§8) — min U for k concurrent tenants on G₀ (4-node group)",
+		Columns: []string{"k concurrent", "min U (plain)", "min U (aligned)",
+			"plain feasible", "aligned feasible"},
+	}
+	const maxU = 256
+	for k := 1; k <= 5; k++ {
+		pu, pok := divergent.MinU(templates, k, maxU)
+		au, aok := divergent.MinUAligned(templates, k, maxU)
+		plain, aligned := "—", "—"
+		if pok {
+			plain = fmt.Sprint(pu)
+		}
+		if aok {
+			aligned = fmt.Sprint(au)
+		}
+		t.AddRow(k, plain, aligned, pok, aok)
+	}
+	return t, nil
+}

@@ -1,0 +1,301 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// tinyScale keeps unit tests fast; the Small scale is for benchmarks.
+var tinyScale = Scale{
+	Name:             "tiny",
+	Tenants:          120,
+	TenantSweep:      []int{60, 120},
+	Days:             7,
+	SessionsPerClass: 4,
+	Sizes:            []int{2, 4, 8},
+	EpochSweep:       []float64{10, 600},
+	ReplayGroups:     1,
+}
+
+var sharedEnv *Env
+
+func testEnv(t *testing.T) *Env {
+	t.Helper()
+	if sharedEnv == nil {
+		env, err := NewEnv(tinyScale, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharedEnv = env
+	}
+	return sharedEnv
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := &Table{Title: "demo", Columns: []string{"a", "bb"}}
+	tb.AddRow(1, "x")
+	tb.AddRow(2.5, "yy")
+	s := tb.String()
+	if !strings.Contains(s, "## demo") || !strings.Contains(s, "2.5") {
+		t.Errorf("render:\n%s", s)
+	}
+}
+
+func TestFig11a(t *testing.T) {
+	tb, err := Fig11aSpeedup()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != len(fig11Nodes) {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// Structural assertions on the last (8-node) row:
+	last := tb.Rows[len(tb.Rows)-1]
+	oneT := atof(t, last[1])
+	twoSeq := atof(t, last[2])
+	twoCon := atof(t, last[3])
+	fourCon := atof(t, last[5])
+	if oneT < 5.0 {
+		t.Errorf("Q1 8-node speedup %v, want near-linear", oneT)
+	}
+	// Sequential sharing ≈ free.
+	if d := twoSeq / oneT; d < 0.95 || d > 1.05 {
+		t.Errorf("2T-SEQ/1T = %v, want ≈1", d)
+	}
+	// Concurrent sharing halves/quarters the speedup.
+	if d := twoCon / oneT; d < 0.45 || d > 0.55 {
+		t.Errorf("2T-CON/1T = %v, want ≈0.5", d)
+	}
+	if d := fourCon / oneT; d < 0.2 || d > 0.3 {
+		t.Errorf("4T-CON/1T = %v, want ≈0.25", d)
+	}
+}
+
+func TestFig11b(t *testing.T) {
+	tb, err := Fig11bLatency()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	ratio := func(i int) float64 {
+		return atof(t, strings.TrimSuffix(tb.Rows[i][3], "×"))
+	}
+	// B (6-node, 1 active) beats the SLA; C (2 active) still ≤ 1; E/F blow it.
+	if ratio(1) >= 1.0 {
+		t.Errorf("point B = %v×, want < 1", ratio(1))
+	}
+	if ratio(2) > 1.0 {
+		t.Errorf("point C = %v×, want ≤ 1", ratio(2))
+	}
+	if ratio(3) < 1.8 || ratio(4) < 3.5 {
+		t.Errorf("points E/F = %v×/%v×, want ≈2×/≈4×", ratio(3), ratio(4))
+	}
+}
+
+func TestFig11c(t *testing.T) {
+	tb, err := Fig11cNonLinear()
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := tb.Rows[len(tb.Rows)-1]
+	if s := atof(t, last[1]); s > 4.0 {
+		t.Errorf("Q19 8-node speedup %v, want a plateau", s)
+	}
+}
+
+func TestTable51(t *testing.T) {
+	tb := Table51Provisioning()
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	if tb.Rows[0][0] != "2-node / 200GB" || tb.Rows[4][0] != "10-node / 1TB" {
+		t.Errorf("labels: %v / %v", tb.Rows[0][0], tb.Rows[4][0])
+	}
+}
+
+// TestSweepsShape runs the consolidation sweeps at tiny scale and checks
+// the paper's qualitative findings hold.
+func TestSweepsShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweeps compose several populations")
+	}
+	env := testEnv(t)
+
+	logs, err := env.DefaultLogs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pt, err := MeasureConsolidation(logs, env.Horizon(), DefaultEpoch, DefaultR, DefaultP, "default")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The central comparison: 2-step beats FFD on node savings.
+	if pt.TwoStep.Effectiveness < pt.FFD.Effectiveness {
+		t.Errorf("2-step %.3f < FFD %.3f", pt.TwoStep.Effectiveness, pt.FFD.Effectiveness)
+	}
+	if pt.TwoStep.Effectiveness < 0.4 {
+		t.Errorf("2-step effectiveness %.3f implausibly low", pt.TwoStep.Effectiveness)
+	}
+
+	// Fig 7.4: higher R ⇒ larger groups.
+	r1, err := MeasureConsolidation(logs, env.Horizon(), DefaultEpoch, 1, DefaultP, "R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := MeasureConsolidation(logs, env.Horizon(), DefaultEpoch, 4, DefaultP, "R4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.TwoStep.MeanGroupSize <= r1.TwoStep.MeanGroupSize {
+		t.Errorf("group size did not grow with R: R1=%.1f R4=%.1f",
+			r1.TwoStep.MeanGroupSize, r4.TwoStep.MeanGroupSize)
+	}
+
+	// Fig 7.5: a looser SLA saves more nodes.
+	p95, err := MeasureConsolidation(logs, env.Horizon(), DefaultEpoch, DefaultR, 0.95, "95")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p95.TwoStep.Effectiveness < pt.TwoStep.Effectiveness {
+		t.Errorf("P=95%% effectiveness %.3f below P=99.9%% %.3f",
+			p95.TwoStep.Effectiveness, pt.TwoStep.Effectiveness)
+	}
+
+	// Fig 7.1: a huge epoch loses effectiveness vs the 10 s default.
+	e1800, err := MeasureConsolidation(logs, env.Horizon(), 1800*sim.Second, DefaultR, DefaultP, "1800")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1800.TwoStep.Effectiveness > pt.TwoStep.Effectiveness {
+		t.Errorf("E=1800s effectiveness %.3f above E=10s %.3f",
+			e1800.TwoStep.Effectiveness, pt.TwoStep.Effectiveness)
+	}
+
+	// Fig 7.6: the single-zone variant collapses effectiveness.
+	hot, err := env.ComposeLogs(tinyScale.Tenants, DefaultTheta, workload.VariantSingleZoneNoLunch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hotPt, err := MeasureConsolidation(hot, env.Horizon(), DefaultEpoch, DefaultR, DefaultP, "hot")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hotPt.TwoStep.Effectiveness >= pt.TwoStep.Effectiveness {
+		t.Errorf("single-zone effectiveness %.3f not below default %.3f",
+			hotPt.TwoStep.Effectiveness, pt.TwoStep.Effectiveness)
+	}
+	if hotPt.ActiveRatio <= pt.ActiveRatio {
+		t.Errorf("single-zone ratio %.3f not above default %.3f",
+			hotPt.ActiveRatio, pt.ActiveRatio)
+	}
+}
+
+func TestHeadlineTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays deployments")
+	}
+	env := testEnv(t)
+	res, err := Headline(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Summary.Rows) == 0 || len(res.Validation.Rows) == 0 {
+		t.Fatal("empty headline result")
+	}
+	// The SLA guarantee P is over *time* (TTP); per-query attainment runs a
+	// little lower because the >R-active windows are exactly the busiest
+	// ones (and an overflow query also slows whoever holds G₀). It must
+	// still be in the high nineties.
+	for _, row := range res.Validation.Rows {
+		att := atof(t, strings.TrimSuffix(row[4], "%"))
+		if att < 97.0 {
+			t.Errorf("group %s attainment %v%%, want ≥97%%", row[0], att)
+		}
+	}
+}
+
+func TestFig77Tiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays deployments twice")
+	}
+	env := testEnv(t)
+	res, err := Fig77ElasticScaling(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Timeline.Rows) == 0 {
+		t.Fatal("no timeline")
+	}
+	// The enabled run must have scaled at least once.
+	if len(res.Events.Rows) == 0 {
+		t.Fatalf("no scaling events; perf table:\n%s\ntimeline:\n%s", res.Perf, res.Timeline)
+	}
+}
+
+func atof(t *testing.T, s string) float64 {
+	t.Helper()
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return f
+}
+
+func TestAblationSolvers(t *testing.T) {
+	if testing.Short() {
+		t.Skip("solves the default instance three times")
+	}
+	env := testEnv(t)
+	tb, err := AblationSolvers(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(tb.Rows))
+	}
+	two := atof(t, strings.TrimSuffix(tb.Rows[0][1], "%"))
+	ffd := atof(t, strings.TrimSuffix(tb.Rows[1][1], "%"))
+	global := atof(t, strings.TrimSuffix(tb.Rows[2][1], "%"))
+	if two < ffd {
+		t.Errorf("2-step %.1f%% below FFD %.1f%%", two, ffd)
+	}
+	if global >= ffd {
+		t.Errorf("size-oblivious FFD %.1f%% not below size-aware %.1f%%", global, ffd)
+	}
+	// Exact ≥ 2-step on the same subsample.
+	exact := atof(t, strings.TrimSuffix(tb.Rows[3][1], "%"))
+	twoSub := atof(t, strings.TrimSuffix(tb.Rows[4][1], "%"))
+	if twoSub > exact+1e-9 {
+		t.Errorf("2-step %.1f%% beat the optimum %.1f%%", twoSub, exact)
+	}
+}
+
+func TestDivergentDesignExperiment(t *testing.T) {
+	env := testEnv(t)
+	tb, err := DivergentDesign(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Rows) != 5 {
+		t.Fatalf("rows = %d", len(tb.Rows))
+	}
+	// k=1 is feasible either way; some higher k must be aligned-only.
+	if tb.Rows[0][3] != "true" || tb.Rows[0][4] != "true" {
+		t.Errorf("k=1 row: %v", tb.Rows[0])
+	}
+	alignedOnly := false
+	for _, row := range tb.Rows {
+		if row[3] == "false" && row[4] == "true" {
+			alignedOnly = true
+		}
+	}
+	if !alignedOnly {
+		t.Error("no k where only the divergent design is feasible — the §8 motivation is missing")
+	}
+}

@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// Fig71EpochSize reproduces Figure 7.1: consolidation effectiveness, mean
+// tenant-group size, and solver runtime as the epoch size E varies from
+// sub-second to 1800 s. The paper finds effectiveness rising as E shrinks,
+// saturating around E = 10 s (FFD ≈68→73%, 2-step →81.5%).
+func Fig71EpochSize(env *Env) (*Table, error) {
+	logs, err := env.DefaultLogs()
+	if err != nil {
+		return nil, err
+	}
+	var pts []*ConsolidationPoint
+	for _, eSec := range env.Scale.EpochSweep {
+		E := sim.Time(eSec * float64(sim.Second))
+		pt, err := MeasureConsolidation(logs, env.Horizon(), E, DefaultR, DefaultP,
+			fmt.Sprintf("%gs", eSec))
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pointsToTable("Fig 7.1 — varying epoch size E", "E", pts), nil
+}
+
+// Fig72Tenants reproduces Figure 7.2: effectiveness is largely insensitive
+// to T, creeping up slightly with more tenants (79.3% → 83.3% from 1000 to
+// 10000 in the paper) as the packer gets more choices.
+func Fig72Tenants(env *Env) (*Table, error) {
+	var pts []*ConsolidationPoint
+	for _, t := range env.Scale.TenantSweep {
+		logs, err := env.ComposeLogs(t, DefaultTheta, workload.VariantDefault)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := MeasureConsolidation(logs, env.Horizon(), DefaultEpoch, DefaultR, DefaultP,
+			fmt.Sprint(t))
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pointsToTable("Fig 7.2 — varying number of tenants T", "T", pts), nil
+}
+
+// Fig73Theta reproduces Figure 7.3: the 2-step heuristic is insensitive to
+// the tenant-size distribution skew θ, while FFD degrades as the population
+// becomes more uniform (large tenants mix into bins more often).
+func Fig73Theta(env *Env) (*Table, error) {
+	var pts []*ConsolidationPoint
+	for _, theta := range []float64{0.1, 0.2, 0.5, 0.8, 0.99} {
+		logs, err := env.ComposeLogs(env.Scale.Tenants, theta, workload.VariantDefault)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := MeasureConsolidation(logs, env.Horizon(), DefaultEpoch, DefaultR, DefaultP,
+			fmt.Sprintf("%.2f", theta))
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pointsToTable("Fig 7.3 — varying tenant distribution θ", "θ", pts), nil
+}
+
+// Fig74Replication reproduces Figure 7.4: a higher replication factor packs
+// more tenants per group (4.7 → 22.2 from R=1 to R=4 in the paper) but
+// effectiveness grows slowly (78.8% → 82.0%) because every extra replica
+// consumes nodes.
+func Fig74Replication(env *Env) (*Table, error) {
+	logs, err := env.DefaultLogs()
+	if err != nil {
+		return nil, err
+	}
+	var pts []*ConsolidationPoint
+	for _, r := range []int{1, 2, 3, 4} {
+		pt, err := MeasureConsolidation(logs, env.Horizon(), DefaultEpoch, r, DefaultP,
+			fmt.Sprint(r))
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pointsToTable("Fig 7.4 — varying replication factor R", "R", pts), nil
+}
+
+// Fig75SLA reproduces Figure 7.5: loosening the guarantee to 95% buys
+// effectiveness (≈86.5%), while 99.9% and 99.99% behave alike (≈81.5%).
+func Fig75SLA(env *Env) (*Table, error) {
+	logs, err := env.DefaultLogs()
+	if err != nil {
+		return nil, err
+	}
+	var pts []*ConsolidationPoint
+	for _, p := range []float64{0.95, 0.99, 0.999, 0.9999} {
+		pt, err := MeasureConsolidation(logs, env.Horizon(), DefaultEpoch, DefaultR, p,
+			fmt.Sprintf("%g%%", 100*p))
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pointsToTable("Fig 7.5 — varying performance SLA guarantee P", "P", pts), nil
+}
+
+// Fig76ActiveRatio reproduces Figure 7.6: the high-activity composition
+// variants raise the mean active tenant ratio (paper: 11.9% → 25.1% →
+// 30.7% → 34.4%) and effectiveness collapses accordingly (81.3% → 34.8%),
+// with groups shrinking to ≈5 tenants.
+func Fig76ActiveRatio(env *Env) (*Table, error) {
+	var pts []*ConsolidationPoint
+	for _, v := range []workload.HighActivityVariant{
+		workload.VariantDefault,
+		workload.VariantNorthAmerica,
+		workload.VariantNorthAmericaNoLunch,
+		workload.VariantSingleZoneNoLunch,
+	} {
+		logs, err := env.ComposeLogs(env.Scale.Tenants, DefaultTheta, v)
+		if err != nil {
+			return nil, err
+		}
+		pt, err := MeasureConsolidation(logs, env.Horizon(), DefaultEpoch, DefaultR, DefaultP,
+			v.String())
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	return pointsToTable("Fig 7.6 — higher active tenant ratio", "variant", pts), nil
+}

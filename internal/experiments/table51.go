@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+)
+
+// Table51Provisioning reproduces Table 5.1: the time to start machine nodes
+// + initialize an MPPDB, and to bulk load the tenant data, for 2–10 node /
+// 200 GB–1 TB configurations. The paper's measured values are included for
+// side-by-side comparison (our provisioning model is calibrated to them).
+func Table51Provisioning() *Table {
+	t := &Table{
+		Title: "Table 5.1 — starting and bulk loading a MPPDB",
+		Columns: []string{"tenant / data", "start+init (model)", "start+init (paper)",
+			"bulk load (model)", "bulk load (paper)"},
+	}
+	rows := []struct {
+		nodes      int
+		gb         float64
+		paperStart float64
+		paperLoad  float64
+	}{
+		{2, 200, 462, 10172},
+		{4, 400, 850, 20302},
+		{6, 600, 1248, 30121},
+		{8, 800, 1504, 40853},
+		{10, 1024, 1779, 50446},
+	}
+	for _, r := range rows {
+		label := fmt.Sprintf("%d-node / %s", r.nodes, gbLabel(r.gb))
+		t.AddRow(label,
+			fmt.Sprintf("%.0fs", cluster.StartupTime(r.nodes).Seconds()),
+			fmt.Sprintf("%.0fs", r.paperStart),
+			fmt.Sprintf("%.0fs", cluster.LoadTime(r.gb, r.nodes, false).Seconds()),
+			fmt.Sprintf("%.0fs", r.paperLoad))
+	}
+	return t
+}
+
+func gbLabel(gb float64) string {
+	if gb >= 1024 {
+		return fmt.Sprintf("%.0fTB", gb/1024)
+	}
+	return fmt.Sprintf("%.0fGB", gb)
+}

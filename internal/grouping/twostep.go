@@ -1,0 +1,110 @@
+package grouping
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/epoch"
+)
+
+// TwoStep runs the paper's two-step tenant-grouping heuristic (Algorithm 2).
+//
+// Step 1 puts tenants requesting the same number of nodes into the same
+// initial group — the total node count of a cluster design is dictated by
+// its largest tenant, so mixing sizes wastes the smaller tenants' savings.
+//
+// Step 2 splits each initial group into tenant-groups: starting from an
+// empty group, it repeatedly adds the tenant T_best that minimizes the
+// increase in time percentage of the maximum number of active tenants
+// (ties broken one activity level down, then by least active time, then by
+// input order — reproducing the Fig 5.3 trace), until adding T_best would
+// drop the group's TTP below P; then it closes the group and opens the next.
+// Note that on an empty group this selection rule degenerates to "insert the
+// least active tenant first", exactly as the thesis describes.
+func TwoStep(p *Problem) (*Solution, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	sol := &Solution{Algorithm: "2-step"}
+
+	// Step 1: initial groups by node count, processed in descending size
+	// order for deterministic output.
+	bySize := make(map[int][]int)
+	for i, it := range p.Items {
+		bySize[it.Nodes] = append(bySize[it.Nodes], i)
+	}
+	sizes := make([]int, 0, len(bySize))
+	for n := range bySize {
+		sizes = append(sizes, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+
+	// Step 2 per initial group.
+	for _, n := range sizes {
+		remaining := append([]int(nil), bySize[n]...)
+		for len(remaining) > 0 {
+			g, rest := packOneGroup(p, remaining)
+			sol.Groups = append(sol.Groups, g)
+			remaining = rest
+		}
+	}
+	sol.Elapsed = time.Since(start)
+	return sol, nil
+}
+
+// packOneGroup fills a single tenant-group from the remaining items of one
+// initial group and returns it together with the items left over.
+func packOneGroup(p *Problem, remaining []int) (Group, []int) {
+	cs := epoch.NewCountSet(p.D)
+	var members []int
+	for len(remaining) > 0 {
+		best := pickBest(p, cs, remaining)
+		it := p.Items[remaining[best]]
+		tr := cs.Preview(it.Spans)
+		if len(members) > 0 && cs.NewTTP(p.R, tr) < p.P {
+			break // Algorithm 2 line 9: T_best no longer fits; close the group.
+		}
+		// The first member always enters: a single tenant has max count 1 ≤ R.
+		members = append(members, remaining[best])
+		cs.Add(it.Spans)
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+	maxNodes := 0
+	for _, idx := range members {
+		if p.Items[idx].Nodes > maxNodes {
+			maxNodes = p.Items[idx].Nodes
+		}
+	}
+	return Group{
+		Items:     members,
+		MaxNodes:  maxNodes,
+		TTP:       cs.TTP(p.R),
+		MaxActive: cs.MaxCount(),
+	}, remaining
+}
+
+// pickBest returns the index within remaining of T_best under the paper's
+// selection rule: lexicographically smallest resulting active-count
+// histogram read from the top (first minimize the new maximum, then the
+// time share at the maximum, then one level down, …), breaking full ties by
+// least active time and finally by position.
+func pickBest(p *Problem, cs *epoch.CountSet, remaining []int) int {
+	best := 0
+	var bestHist []int64
+	var bestActive int64
+	for i, idx := range remaining {
+		it := p.Items[idx]
+		tr := cs.Preview(it.Spans)
+		h := cs.NewHist(tr)
+		if bestHist == nil {
+			best, bestHist, bestActive = i, h, it.ActiveEpochs()
+			continue
+		}
+		c := epoch.CompareNewHists(h, bestHist)
+		if c < 0 || (c == 0 && it.ActiveEpochs() < bestActive) {
+			best, bestHist, bestActive = i, h, it.ActiveEpochs()
+		}
+	}
+	return best
+}

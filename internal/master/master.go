@@ -1,0 +1,204 @@
+// Package master implements the Deployment Master (thesis §3c): it executes
+// a deployment plan on the shared cluster — acquiring machine nodes,
+// starting the MPPDB instances of every tenant-group, bulk loading every
+// member tenant onto each of its group's A MPPDBs, and keeping unused nodes
+// hibernated. The resulting Deployment bundles the per-group routers and
+// activity monitors the run-time side (query routing, elastic scaling)
+// operates on.
+package master
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/cluster"
+	"repro/internal/monitor"
+	"repro/internal/mppdb"
+	"repro/internal/queries"
+	"repro/internal/router"
+	"repro/internal/scaling"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+)
+
+// Options controls plan execution.
+type Options struct {
+	// Immediate skips provisioning delays: instances are Ready at once.
+	// Experiments that study steady-state behaviour use this; the elastic
+	// scaling experiment does not.
+	Immediate bool
+	// ParallelLoad enables the MPPDB parallel loading option (§7.2).
+	ParallelLoad bool
+	// MonitorWindow is the RT-TTP window (default 24 h).
+	MonitorWindow time.Duration
+}
+
+// DefaultOptions returns the thesis' run-time settings.
+func DefaultOptions() Options {
+	return Options{ParallelLoad: true, MonitorWindow: 24 * time.Hour}
+}
+
+// DeployedGroup is one tenant-group brought up on the cluster.
+type DeployedGroup struct {
+	Plan      advisor.PlannedGroup
+	Instances []*mppdb.Instance // index 0 is the tuning MPPDB G₀
+	Router    *router.GroupRouter
+	Monitor   *monitor.GroupMonitor
+	Members   []*tenant.Tenant
+}
+
+// Deployment is a live MPPDBaaS deployment.
+type Deployment struct {
+	eng    *sim.Engine
+	pool   *cluster.Pool
+	groups []*DeployedGroup
+	byTen  map[string]*DeployedGroup
+	ready  map[string]sim.Time
+}
+
+// Master executes deployment plans.
+type Master struct {
+	eng  *sim.Engine
+	pool *cluster.Pool
+	opts Options
+}
+
+// New creates a master over the engine and node pool.
+func New(eng *sim.Engine, pool *cluster.Pool, opts Options) *Master {
+	if opts.MonitorWindow <= 0 {
+		opts.MonitorWindow = 24 * time.Hour
+	}
+	return &Master{eng: eng, pool: pool, opts: opts}
+}
+
+// Deploy brings a plan up. tenants must contain every tenant referenced by
+// the plan's groups.
+func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (*Deployment, error) {
+	dep := &Deployment{
+		eng:   m.eng,
+		pool:  m.pool,
+		byTen: make(map[string]*DeployedGroup),
+		ready: make(map[string]sim.Time),
+	}
+	for _, pg := range plan.Groups {
+		members := make([]*tenant.Tenant, 0, len(pg.TenantIDs))
+		var groupGB float64
+		for _, id := range pg.TenantIDs {
+			tn, ok := tenants[id]
+			if !ok {
+				return nil, fmt.Errorf("master: plan references unknown tenant %s", id)
+			}
+			members = append(members, tn)
+			groupGB += tn.DataGB
+		}
+		g := &DeployedGroup{Plan: pg, Members: members}
+		var readyAt sim.Time
+		for i := 0; i < pg.Design.A; i++ {
+			nodes, err := pg.Design.GroupNodes(i)
+			if err != nil {
+				return nil, err
+			}
+			id := fmt.Sprintf("%s-db%d", pg.ID, i)
+			if _, err := m.pool.Acquire(id, nodes); err != nil {
+				return nil, fmt.Errorf("master: group %s: %w", pg.ID, err)
+			}
+			inst := mppdb.New(m.eng, id, nodes)
+			for _, tn := range members {
+				inst.DeployTenant(tn.ID, tn.DataGB)
+			}
+			if !m.opts.Immediate {
+				inst.SetState(mppdb.Provisioning)
+				delay := cluster.StartupTime(nodes) + cluster.LoadTime(groupGB, nodes, m.opts.ParallelLoad)
+				at := m.eng.Now().Add(delay)
+				if at > readyAt {
+					readyAt = at
+				}
+				m.eng.After(delay, func(sim.Time) { inst.SetState(mppdb.Ready) })
+			}
+			g.Instances = append(g.Instances, inst)
+		}
+		mon, err := monitor.NewGroup(m.eng, pg.ID, pg.Design.A, m.opts.MonitorWindow)
+		if err != nil {
+			return nil, err
+		}
+		rt, err := router.NewGroup(m.eng, pg.ID, g.Instances, members, mon)
+		if err != nil {
+			return nil, err
+		}
+		g.Monitor = mon
+		g.Router = rt
+		dep.groups = append(dep.groups, g)
+		dep.ready[pg.ID] = readyAt
+		for _, tn := range members {
+			dep.byTen[tn.ID] = g
+		}
+	}
+	return dep, nil
+}
+
+// Groups returns the deployed tenant-groups.
+func (d *Deployment) Groups() []*DeployedGroup { return d.groups }
+
+// GroupFor returns the group hosting the tenant.
+func (d *Deployment) GroupFor(tenantID string) (*DeployedGroup, bool) {
+	g, ok := d.byTen[tenantID]
+	return g, ok
+}
+
+// ReadyAt returns when a group's provisioning completes (zero when deployed
+// with Options.Immediate).
+func (d *Deployment) ReadyAt(groupID string) sim.Time { return d.ready[groupID] }
+
+// Submit routes a query for the tenant through its group's router.
+func (d *Deployment) Submit(tenantID string, class *queries.Class) (string, error) {
+	return d.SubmitWithTarget(tenantID, class, 0)
+}
+
+// SubmitWithTarget routes a query with an explicit SLA target (see
+// router.SubmitWithTarget).
+func (d *Deployment) SubmitWithTarget(tenantID string, class *queries.Class, target sim.Time) (string, error) {
+	g, ok := d.byTen[tenantID]
+	if !ok {
+		return "", fmt.Errorf("master: tenant %s not deployed", tenantID)
+	}
+	return g.Router.SubmitWithTarget(tenantID, class, target)
+}
+
+// NodesUsed returns the number of active nodes in the pool.
+func (d *Deployment) NodesUsed() int { return d.pool.CountState(cluster.Active) }
+
+// Pool returns the deployment's node pool (the elastic scaler draws
+// replacement and scale-up nodes from it).
+func (d *Deployment) Pool() *cluster.Pool { return d.pool }
+
+// Tenants returns the deployed tenant index.
+func (d *Deployment) Tenants() map[string]*tenant.Tenant {
+	out := make(map[string]*tenant.Tenant, len(d.byTen))
+	for id, g := range d.byTen {
+		for _, tn := range g.Members {
+			if tn.ID == id {
+				out[id] = tn
+			}
+		}
+	}
+	return out
+}
+
+// ScalerTargets adapts the deployment's groups for the elastic scaler.
+func (d *Deployment) ScalerTargets() []*scaling.Target {
+	out := make([]*scaling.Target, 0, len(d.groups))
+	for _, g := range d.groups {
+		out = append(out, &scaling.Target{Router: g.Router, Monitor: g.Monitor, Members: g.Members})
+	}
+	return out
+}
+
+// Records returns all completed query records across groups.
+func (d *Deployment) Records() []monitor.QueryRecord {
+	var out []monitor.QueryRecord
+	for _, g := range d.groups {
+		out = append(out, g.Monitor.Records()...)
+	}
+	return out
+}

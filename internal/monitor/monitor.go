@@ -1,0 +1,294 @@
+// Package monitor implements the Tenant Activity Monitor (thesis §3a, §5.1):
+// it observes query starts and finishes per tenant-group, derives tenant
+// activity, and maintains the run-time TTP (RT-TTP) over a sliding window —
+// the signal that triggers lightweight elastic scaling when it drops below
+// the performance SLA guarantee P.
+package monitor
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/epoch"
+	"repro/internal/queries"
+	"repro/internal/sim"
+)
+
+// QueryRecord is one completed query observation.
+type QueryRecord struct {
+	Tenant string
+	Class  *queries.Class
+	Submit sim.Time
+	Finish sim.Time
+	// SLATarget is the latency the tenant is entitled to: the isolated
+	// latency on its requested configuration.
+	SLATarget sim.Time
+	// MPPDB is the instance that served the query.
+	MPPDB string
+}
+
+// Latency returns the observed latency.
+func (r QueryRecord) Latency() sim.Time { return r.Finish - r.Submit }
+
+// Normalized returns latency divided by the SLA target — the Fig 7.7b/d
+// metric ("1.0 means a query has finished execution as quick as it should be
+// when measured in an isolated environment").
+func (r QueryRecord) Normalized() float64 {
+	if r.SLATarget <= 0 {
+		return 1
+	}
+	return float64(r.Latency()) / float64(r.SLATarget)
+}
+
+// SLAMet reports whether the query met its latency SLA. A small tolerance
+// absorbs float-to-duration rounding in the simulator.
+func (r QueryRecord) SLAMet() bool { return r.Normalized() <= 1.0+1e-9 }
+
+// GroupMonitor tracks one tenant-group.
+type GroupMonitor struct {
+	eng    *sim.Engine
+	group  string
+	r      int
+	window time.Duration
+
+	// inflight counts running queries per (non-excluded) tenant.
+	inflight map[string]int
+	// excluded tenants no longer count toward the group's activity (their
+	// queries moved to a dedicated MPPDB after elastic scaling: "the
+	// tenant-group excluded all the activities of the removed tenant").
+	excluded map[string]bool
+	// activeSince records when each currently-active tenant became active.
+	activeSince map[string]sim.Time
+	// perTenant accumulates closed activity intervals per tenant, pruned to
+	// the window (used by over-active identification).
+	perTenant map[string][]epoch.Interval
+
+	// Violation tracking: spans during which more than R tenants were
+	// active concurrently.
+	violations []epoch.Interval
+	overSince  sim.Time
+	over       bool
+
+	// observedSince is the start of observation (RT-TTP over a window that
+	// extends before it is computed against observed time only).
+	observedSince sim.Time
+
+	records []QueryRecord
+}
+
+// NewGroup creates a monitor for one tenant-group with the given replication
+// factor and sliding window (the thesis uses 24 hours).
+func NewGroup(eng *sim.Engine, group string, r int, window time.Duration) (*GroupMonitor, error) {
+	if r < 1 {
+		return nil, fmt.Errorf("monitor: R=%d", r)
+	}
+	if window <= 0 {
+		return nil, fmt.Errorf("monitor: window %v", window)
+	}
+	return &GroupMonitor{
+		eng:           eng,
+		group:         group,
+		r:             r,
+		window:        window,
+		inflight:      make(map[string]int),
+		excluded:      make(map[string]bool),
+		activeSince:   make(map[string]sim.Time),
+		perTenant:     make(map[string][]epoch.Interval),
+		observedSince: eng.Now(),
+	}, nil
+}
+
+// Group returns the monitored group's identifier.
+func (m *GroupMonitor) Group() string { return m.group }
+
+// ActiveTenants returns the number of currently active (non-excluded)
+// tenants — the strong notion of active: at least one query in flight.
+func (m *GroupMonitor) ActiveTenants() int { return len(m.inflight) }
+
+// Exclude removes a tenant from the group's activity accounting (after
+// elastic scaling moved it to a dedicated MPPDB).
+func (m *GroupMonitor) Exclude(tenant string) {
+	if m.excluded[tenant] {
+		return
+	}
+	// Close out any in-flight activity of the tenant first.
+	if m.inflight[tenant] > 0 {
+		delete(m.inflight, tenant)
+		m.tenantInactive(tenant)
+		m.recheckViolation()
+	}
+	m.excluded[tenant] = true
+}
+
+// Excluded reports whether the tenant has been excluded.
+func (m *GroupMonitor) Excluded(tenant string) bool { return m.excluded[tenant] }
+
+// QueryStarted records a query start for the tenant.
+func (m *GroupMonitor) QueryStarted(tenant string) {
+	if m.excluded[tenant] {
+		return
+	}
+	m.inflight[tenant]++
+	if m.inflight[tenant] == 1 {
+		m.activeSince[tenant] = m.eng.Now()
+		m.recheckViolation()
+	}
+}
+
+// QueryFinished records a query completion and, optionally, the full record.
+func (m *GroupMonitor) QueryFinished(rec QueryRecord) {
+	m.records = append(m.records, rec)
+	t := rec.Tenant
+	if m.excluded[t] {
+		return
+	}
+	if m.inflight[t] == 0 {
+		return // start was recorded before an Exclude; ignore
+	}
+	m.inflight[t]--
+	if m.inflight[t] == 0 {
+		delete(m.inflight, t)
+		m.tenantInactive(t)
+		m.recheckViolation()
+	}
+}
+
+// tenantInactive closes the tenant's current activity interval.
+func (m *GroupMonitor) tenantInactive(t string) {
+	start, ok := m.activeSince[t]
+	if !ok {
+		return
+	}
+	delete(m.activeSince, t)
+	now := m.eng.Now()
+	if now > start {
+		m.perTenant[t] = append(m.perTenant[t], epoch.Interval{Start: start, End: now})
+	}
+	m.pruneTenant(t)
+}
+
+// recheckViolation opens or closes the "more than R active" span.
+func (m *GroupMonitor) recheckViolation() {
+	now := m.eng.Now()
+	overNow := len(m.inflight) > m.r
+	switch {
+	case overNow && !m.over:
+		m.over = true
+		m.overSince = now
+	case !overNow && m.over:
+		m.over = false
+		if now > m.overSince {
+			m.violations = append(m.violations, epoch.Interval{Start: m.overSince, End: now})
+		}
+		m.pruneViolations()
+	}
+}
+
+func (m *GroupMonitor) pruneViolations() {
+	cut := m.eng.Now() - sim.Duration(m.window)*2
+	i := 0
+	for i < len(m.violations) && m.violations[i].End < cut {
+		i++
+	}
+	if i > 0 {
+		m.violations = append([]epoch.Interval(nil), m.violations[i:]...)
+	}
+}
+
+func (m *GroupMonitor) pruneTenant(t string) {
+	cut := m.eng.Now() - sim.Duration(m.window)*2
+	ivs := m.perTenant[t]
+	i := 0
+	for i < len(ivs) && ivs[i].End < cut {
+		i++
+	}
+	if i > 0 {
+		m.perTenant[t] = append([]epoch.Interval(nil), ivs[i:]...)
+	}
+}
+
+// RTTTP returns the run-time TTP over the trailing window: the fraction of
+// observed window time during which at most R tenants were active.
+func (m *GroupMonitor) RTTTP() float64 {
+	now := m.eng.Now()
+	from := now - sim.Duration(m.window)
+	if from < m.observedSince {
+		from = m.observedSince
+	}
+	span := now - from
+	if span <= 0 {
+		return 1
+	}
+	var viol sim.Time
+	for _, v := range m.violations {
+		s, e := v.Start, v.End
+		if s < from {
+			s = from
+		}
+		if e > s {
+			viol += e - s
+		}
+	}
+	if m.over {
+		s := m.overSince
+		if s < from {
+			s = from
+		}
+		if now > s {
+			viol += now - s
+		}
+	}
+	return 1 - float64(viol)/float64(span)
+}
+
+// TenantActivity returns the tenant's observed activity within the trailing
+// window, as a normalized interval set (an open interval is closed at now).
+func (m *GroupMonitor) TenantActivity(tenant string) epoch.Activity {
+	now := m.eng.Now()
+	from := now - sim.Duration(m.window)
+	ivs := append([]epoch.Interval(nil), m.perTenant[tenant]...)
+	if s, ok := m.activeSince[tenant]; ok && now > s {
+		ivs = append(ivs, epoch.Interval{Start: s, End: now})
+	}
+	return epoch.Normalize(ivs).Clip(from, now)
+}
+
+// Tenants returns all tenants with any observed activity (excluded or not).
+func (m *GroupMonitor) Tenants() []string {
+	seen := map[string]bool{}
+	for t := range m.perTenant {
+		seen[t] = true
+	}
+	for t := range m.activeSince {
+		seen[t] = true
+	}
+	out := make([]string, 0, len(seen))
+	for t := range seen {
+		out = append(out, t)
+	}
+	// Deterministic order.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	return out
+}
+
+// Records returns all completed query records (including excluded tenants').
+func (m *GroupMonitor) Records() []QueryRecord { return m.records }
+
+// SLAAttainment returns the fraction of completed queries that met their
+// SLA. It returns 1 when nothing completed yet.
+func (m *GroupMonitor) SLAAttainment() float64 {
+	if len(m.records) == 0 {
+		return 1
+	}
+	met := 0
+	for _, r := range m.records {
+		if r.SLAMet() {
+			met++
+		}
+	}
+	return float64(met) / float64(len(m.records))
+}

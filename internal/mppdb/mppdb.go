@@ -1,0 +1,347 @@
+// Package mppdb simulates a massively parallel processing relational
+// database instance — the execution substrate the paper runs its tenants on.
+//
+// The model captures the two behaviours the paper's consolidation design is
+// built around (Fig 1.1):
+//
+//   - Isolated latency follows the query class' scale-out profile (package
+//     queries): near-linear for scan-dominated queries, plateauing for
+//     shuffle/coordination-heavy ones.
+//   - Concurrent analytical queries on the same instance contend for I/O.
+//     We model the instance as a processor-sharing server: a query's service
+//     demand equals its isolated latency on this instance, and k concurrent
+//     queries each progress at rate 1/k. Two concurrent Q1 instances thus
+//     take ≈2× their isolated latency (the paper's 2T-CON line), while
+//     sequential submissions are unaffected (xT-SEQ).
+//
+// Instances also model tenant deployment (bulk loading, package cluster's
+// timing model), degraded operation under node failure, and report per-query
+// results with slowdown relative to both the instance-isolated latency and
+// the tenant's SLA target.
+package mppdb
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/queries"
+	"repro/internal/sim"
+)
+
+// State is the lifecycle state of an MPPDB instance.
+type State int
+
+const (
+	// Provisioning: machine nodes are starting and the MPPDB is being
+	// initialized.
+	Provisioning State = iota
+	// Loading: tenant data is being bulk loaded.
+	Loading
+	// Ready: the instance serves queries.
+	Ready
+	// Stopped: the instance was shut down.
+	Stopped
+)
+
+// String returns the state name.
+func (s State) String() string {
+	switch s {
+	case Provisioning:
+		return "provisioning"
+	case Loading:
+		return "loading"
+	case Ready:
+		return "ready"
+	case Stopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// Result describes one completed query execution.
+type Result struct {
+	Tenant string
+	Class  *queries.Class
+	Submit sim.Time
+	Finish sim.Time
+	// Isolated is what the query would have taken on this instance with no
+	// concurrent queries.
+	Isolated sim.Time
+	// MaxConcurrency is the largest number of queries that shared the
+	// instance at any point during this execution (including this one).
+	MaxConcurrency int
+}
+
+// Latency returns the observed wall-clock latency.
+func (r Result) Latency() sim.Time { return r.Finish - r.Submit }
+
+// Slowdown returns observed latency / isolated latency on this instance;
+// 1.0 means the query ran as if alone.
+func (r Result) Slowdown() float64 {
+	if r.Isolated <= 0 {
+		return 1
+	}
+	return float64(r.Latency()) / float64(r.Isolated)
+}
+
+// exec is one in-flight query.
+type exec struct {
+	id        int64
+	tenant    string
+	class     *queries.Class
+	submit    sim.Time
+	isolated  sim.Time
+	remaining float64 // seconds of dedicated-instance work left
+	maxConc   int
+	done      func(Result)
+}
+
+// Instance is one simulated MPPDB.
+type Instance struct {
+	id    string
+	nodes int
+	eng   *sim.Engine
+	state State
+
+	// Tenant deployments: data size per tenant schema.
+	tenantGB map[string]float64
+
+	// Processor-sharing executor state.
+	execs      map[int64]*exec
+	byTenant   map[string]int
+	nextExecID int64
+	lastTouch  sim.Time
+	completion *sim.Event
+
+	failedNodes int
+}
+
+// New creates an instance that is immediately Ready (provisioning timing is
+// the Deployment Master's concern; tests and the router use ready
+// instances directly).
+func New(eng *sim.Engine, id string, nodes int) *Instance {
+	if nodes < 1 {
+		panic(fmt.Sprintf("mppdb: instance %q with %d nodes", id, nodes))
+	}
+	return &Instance{
+		id:       id,
+		nodes:    nodes,
+		eng:      eng,
+		state:    Ready,
+		tenantGB: make(map[string]float64),
+		execs:    make(map[int64]*exec),
+		byTenant: make(map[string]int),
+	}
+}
+
+// ID returns the instance identifier.
+func (m *Instance) ID() string { return m.id }
+
+// Nodes returns the instance's degree of parallelism.
+func (m *Instance) Nodes() int { return m.nodes }
+
+// State returns the current lifecycle state.
+func (m *Instance) State() State { return m.state }
+
+// SetState transitions the lifecycle state; the Deployment Master drives
+// Provisioning → Loading → Ready.
+func (m *Instance) SetState(s State) { m.state = s }
+
+// DeployTenant registers a tenant schema of dataGB on this instance. The
+// bulk-load *timing* is applied by the caller (Deployment Master / elastic
+// scaler) via cluster.LoadTime; Deploy itself is bookkeeping.
+func (m *Instance) DeployTenant(tenant string, dataGB float64) {
+	m.tenantGB[tenant] = dataGB
+}
+
+// RemoveTenant drops a tenant schema.
+func (m *Instance) RemoveTenant(tenant string) {
+	delete(m.tenantGB, tenant)
+}
+
+// HasTenant reports whether the tenant's data is deployed here.
+func (m *Instance) HasTenant(tenant string) bool {
+	_, ok := m.tenantGB[tenant]
+	return ok
+}
+
+// Tenants returns the deployed tenant IDs, sorted.
+func (m *Instance) Tenants() []string {
+	out := make([]string, 0, len(m.tenantGB))
+	for t := range m.tenantGB {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TenantDataGB returns the total deployed data volume in GB.
+func (m *Instance) TenantDataGB() float64 {
+	var gb float64
+	for _, v := range m.tenantGB {
+		gb += v
+	}
+	return gb
+}
+
+// Busy reports whether any query is currently executing (§4.3's definition:
+// an MPPDB is free when it is not serving any queries).
+func (m *Instance) Busy() bool { return len(m.execs) > 0 }
+
+// Running returns the number of in-flight queries.
+func (m *Instance) Running() int { return len(m.execs) }
+
+// TenantRunning returns the number of in-flight queries of one tenant.
+func (m *Instance) TenantRunning(tenant string) int { return m.byTenant[tenant] }
+
+// FailNode degrades the instance by one node (the MPPDB "can still stay
+// online even with some node failure", §4.4). Execution slows
+// proportionally until RepairNode is called.
+func (m *Instance) FailNode() error {
+	if m.failedNodes >= m.nodes-1 {
+		return fmt.Errorf("mppdb %s: cannot fail %d of %d nodes", m.id, m.failedNodes+1, m.nodes)
+	}
+	m.advance()
+	m.failedNodes++
+	m.reschedule()
+	return nil
+}
+
+// RepairNode restores one failed node.
+func (m *Instance) RepairNode() error {
+	if m.failedNodes == 0 {
+		return fmt.Errorf("mppdb %s: no failed node to repair", m.id)
+	}
+	m.advance()
+	m.failedNodes--
+	m.reschedule()
+	return nil
+}
+
+// FailedNodes returns the number of currently failed nodes.
+func (m *Instance) FailedNodes() int { return m.failedNodes }
+
+// speed returns the instance's aggregate progress rate: 1.0 healthy, scaled
+// down by failed nodes.
+func (m *Instance) speed() float64 {
+	return float64(m.nodes-m.failedNodes) / float64(m.nodes)
+}
+
+// IsolatedLatency returns the latency the query class would see on this
+// instance, alone and healthy, for the given tenant's data.
+func (m *Instance) IsolatedLatency(tenant string, class *queries.Class) (sim.Time, error) {
+	gb, ok := m.tenantGB[tenant]
+	if !ok {
+		return 0, fmt.Errorf("mppdb %s: tenant %q not deployed", m.id, tenant)
+	}
+	return sim.Duration(class.Latency(gb, m.nodes)), nil
+}
+
+// Submit starts executing a query for a deployed tenant. done (optional) is
+// invoked when the query completes. Submit returns the isolated latency so
+// callers can set expectations without re-deriving it.
+func (m *Instance) Submit(tenant string, class *queries.Class, done func(Result)) (sim.Time, error) {
+	if m.state != Ready {
+		return 0, fmt.Errorf("mppdb %s: not ready (%v)", m.id, m.state)
+	}
+	iso, err := m.IsolatedLatency(tenant, class)
+	if err != nil {
+		return 0, err
+	}
+	m.advance()
+	m.nextExecID++
+	ex := &exec{
+		id:        m.nextExecID,
+		tenant:    tenant,
+		class:     class,
+		submit:    m.eng.Now(),
+		isolated:  iso,
+		remaining: iso.Seconds(),
+		done:      done,
+	}
+	m.execs[ex.id] = ex
+	m.byTenant[tenant]++
+	conc := len(m.execs)
+	for _, other := range m.execs {
+		if conc > other.maxConc {
+			other.maxConc = conc
+		}
+	}
+	m.reschedule()
+	return iso, nil
+}
+
+// advance applies elapsed virtual time to all in-flight queries under
+// processor sharing: with k queries running, each progresses at speed()/k.
+func (m *Instance) advance() {
+	now := m.eng.Now()
+	if now <= m.lastTouch {
+		m.lastTouch = now
+		return
+	}
+	elapsed := (now - m.lastTouch).Seconds()
+	m.lastTouch = now
+	k := len(m.execs)
+	if k == 0 {
+		return
+	}
+	rate := m.speed() / float64(k)
+	for _, ex := range m.execs {
+		ex.remaining -= elapsed * rate
+		if ex.remaining < 0 {
+			ex.remaining = 0
+		}
+	}
+}
+
+// reschedule (re)computes the next completion event.
+func (m *Instance) reschedule() {
+	if m.completion != nil {
+		m.eng.Cancel(m.completion)
+		m.completion = nil
+	}
+	if len(m.execs) == 0 {
+		return
+	}
+	var next *exec
+	for _, ex := range m.execs {
+		if next == nil || ex.remaining < next.remaining ||
+			(ex.remaining == next.remaining && ex.id < next.id) {
+			next = ex
+		}
+	}
+	k := float64(len(m.execs))
+	eta := next.remaining * k / m.speed()
+	at := m.eng.Now() + sim.Time(eta*float64(sim.Second))
+	id := next.id
+	m.completion = m.eng.Schedule(at, func(now sim.Time) { m.complete(id) })
+}
+
+// complete finishes the identified query and reschedules.
+func (m *Instance) complete(id int64) {
+	m.advance()
+	ex, ok := m.execs[id]
+	if !ok {
+		m.reschedule()
+		return
+	}
+	// Guard against float drift: the scheduled completion is authoritative.
+	ex.remaining = 0
+	delete(m.execs, id)
+	m.byTenant[ex.tenant]--
+	if m.byTenant[ex.tenant] == 0 {
+		delete(m.byTenant, ex.tenant)
+	}
+	m.reschedule()
+	if ex.done != nil {
+		ex.done(Result{
+			Tenant:         ex.tenant,
+			Class:          ex.class,
+			Submit:         ex.submit,
+			Finish:         m.eng.Now(),
+			Isolated:       ex.isolated,
+			MaxConcurrency: ex.maxConc,
+		})
+	}
+}

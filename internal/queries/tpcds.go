@@ -1,0 +1,225 @@
+package queries
+
+// tpcdsClasses is a 24-query TPC-DS subset spanning the benchmark's main
+// template families: reporting aggregates over a single fact table
+// (q3/q42/q52/q55), store-sales drill-downs (q7/q19/q27/q34/q73), catalog
+// and web channel joins (q45/q60), cross-channel "rollup" queries
+// (q4/q11/q74 — the heavy multi-fact joins), customer-behaviour queries
+// (q46/q68/q79), and time-series reports (q59/q63/q89/q96/q98). Profiles
+// follow the same component model as TPC-H; the heavy cross-channel
+// templates are the TPC-DS counterparts of the paper's non-linear class.
+var tpcdsClasses = []*Class{
+	{
+		ID: "TPCDS-Q3", Suite: TPCDS, Number: 3,
+		SQL: `select dt.d_year, item.i_brand_id, item.i_brand, sum(ss_ext_sales_price) sum_agg
+from date_dim dt, store_sales, item
+where dt.d_date_sk = ss_sold_date_sk and ss_item_sk = i_item_sk
+  and i_manufact_id = 128 and dt.d_moy = 11
+group by dt.d_year, i_brand, i_brand_id order by dt.d_year, sum_agg desc limit 100`,
+		FixedSec: 0.0364, SerialSec: 0.0091, ScanSecGB: 0.0091, ShufSecGB: 0.00091, CoordSec: 0.000455,
+	},
+	{
+		ID: "TPCDS-Q4", Suite: TPCDS, Number: 4,
+		SQL: `with year_total as (select c_customer_id, sum(...) year_total, 's' sale_type
+  from customer, store_sales, date_dim group by ... union all
+  select ..., 'c' from customer, catalog_sales, date_dim ... union all
+  select ..., 'w' from customer, web_sales, date_dim ...)
+select t_s_secyear.customer_id from year_total t_s_firstyear, ... limit 100`,
+		FixedSec: 0.2002, SerialSec: 0.182, ScanSecGB: 0.0455, ShufSecGB: 0.0364, CoordSec: 0.0546,
+	},
+	{
+		ID: "TPCDS-Q7", Suite: TPCDS, Number: 7,
+		SQL: `select i_item_id, avg(ss_quantity), avg(ss_list_price), avg(ss_coupon_amt)
+from store_sales, customer_demographics, date_dim, item, promotion
+where cd_gender = 'M' and cd_marital_status = 'S' and cd_education_status = 'College'
+group by i_item_id order by i_item_id limit 100`,
+		FixedSec: 0.1092, SerialSec: 0.0455, ScanSecGB: 0.01274, ShufSecGB: 0.0091, CoordSec: 0.00728,
+	},
+	{
+		ID: "TPCDS-Q11", Suite: TPCDS, Number: 11,
+		SQL: `with year_total as (select c_customer_id, sum(ss_ext_list_price-ss_ext_discount_amt),
+  's' sale_type from customer, store_sales, date_dim group by ... union all
+  select ..., 'w' from customer, web_sales, date_dim ...)
+select t_s_secyear.customer_id, ... order by ... limit 100`,
+		FixedSec: 0.182, SerialSec: 0.1456, ScanSecGB: 0.0364, ShufSecGB: 0.03185, CoordSec: 0.0455,
+	},
+	{
+		ID: "TPCDS-Q19", Suite: TPCDS, Number: 19,
+		SQL: `select i_brand_id, i_brand, i_manufact_id, i_manufact, sum(ss_ext_sales_price) ext_price
+from date_dim, store_sales, item, customer, customer_address, store
+where d_date_sk = ss_sold_date_sk and ss_item_sk = i_item_sk and i_manager_id = 8
+  and substr(ca_zip,1,5) <> substr(s_zip,1,5)
+group by i_brand, i_brand_id, i_manufact_id, i_manufact order by ext_price desc limit 100`,
+		FixedSec: 0.1183, SerialSec: 0.0546, ScanSecGB: 0.01456, ShufSecGB: 0.01274, CoordSec: 0.0091,
+	},
+	{
+		ID: "TPCDS-Q27", Suite: TPCDS, Number: 27,
+		SQL: `select i_item_id, s_state, grouping(s_state) g_state, avg(ss_quantity) agg1
+from store_sales, customer_demographics, date_dim, store, item
+where cd_gender = 'M' and cd_marital_status = 'S' and d_year = 2002
+group by rollup (i_item_id, s_state) order by i_item_id, s_state limit 100`,
+		FixedSec: 0.1092, SerialSec: 0.0546, ScanSecGB: 0.01365, ShufSecGB: 0.0091, CoordSec: 0.00728,
+	},
+	{
+		ID: "TPCDS-Q34", Suite: TPCDS, Number: 34,
+		SQL: `select c_last_name, c_first_name, c_salutation, ss_ticket_number, cnt
+from (select ss_ticket_number, ss_customer_sk, count(*) cnt
+  from store_sales, date_dim, store, household_demographics
+  where (d_dom between 1 and 3 or d_dom between 25 and 28)
+  group by ss_ticket_number, ss_customer_sk) dn, customer
+where cnt between 15 and 20 order by c_last_name, ...`,
+		FixedSec: 0.1001, SerialSec: 0.0455, ScanSecGB: 0.01092, ShufSecGB: 0.00728, CoordSec: 0.00546,
+	},
+	{
+		ID: "TPCDS-Q42", Suite: TPCDS, Number: 42,
+		SQL: `select dt.d_year, item.i_category_id, item.i_category, sum(ss_ext_sales_price)
+from date_dim dt, store_sales, item
+where dt.d_date_sk = ss_sold_date_sk and ss_item_sk = i_item_sk
+  and item.i_manager_id = 1 and dt.d_moy = 11 and dt.d_year = 2000
+group by dt.d_year, item.i_category_id, item.i_category order by 4 desc limit 100`,
+		FixedSec: 0.0273, SerialSec: 0.0091, ScanSecGB: 0.00728, ShufSecGB: 0.00091, CoordSec: 0.000455,
+	},
+	{
+		ID: "TPCDS-Q43", Suite: TPCDS, Number: 43,
+		SQL: `select s_store_name, s_store_id, sum(case when (d_day_name='Sunday')
+  then ss_sales_price else null end) sun_sales, ...
+from date_dim, store_sales, store where d_year = 2000
+group by s_store_name, s_store_id order by s_store_name limit 100`,
+		FixedSec: 0.0364, SerialSec: 0.0091, ScanSecGB: 0.01001, ShufSecGB: 0.00091, CoordSec: 0.000455,
+	},
+	{
+		ID: "TPCDS-Q45", Suite: TPCDS, Number: 45,
+		SQL: `select ca_zip, ca_city, sum(ws_sales_price)
+from web_sales, customer, customer_address, date_dim, item
+where ws_bill_customer_sk = c_customer_sk and c_current_addr_sk = ca_address_sk
+  and (substr(ca_zip,1,5) in ('85669','86197', ...) or i_item_id in (...))
+group by ca_zip, ca_city order by ca_zip, ca_city limit 100`,
+		FixedSec: 0.1092, SerialSec: 0.0455, ScanSecGB: 0.0091, ShufSecGB: 0.01092, CoordSec: 0.0091,
+	},
+	{
+		ID: "TPCDS-Q46", Suite: TPCDS, Number: 46,
+		SQL: `select c_last_name, c_first_name, ca_city, bought_city, ss_ticket_number, amt, profit
+from (select ss_ticket_number, ss_customer_sk, ca_city bought_city,
+  sum(ss_coupon_amt) amt, sum(ss_net_profit) profit
+  from store_sales, date_dim, store, household_demographics, customer_address ...)
+  dn, customer, customer_address current_addr ... limit 100`,
+		FixedSec: 0.1183, SerialSec: 0.0546, ScanSecGB: 0.01547, ShufSecGB: 0.01365, CoordSec: 0.01092,
+	},
+	{
+		ID: "TPCDS-Q52", Suite: TPCDS, Number: 52,
+		SQL: `select dt.d_year, item.i_brand_id brand_id, item.i_brand brand, sum(ss_ext_sales_price)
+from date_dim dt, store_sales, item
+where dt.d_date_sk = ss_sold_date_sk and ss_item_sk = i_item_sk
+  and item.i_manager_id = 1 and dt.d_moy = 11 and dt.d_year = 2000
+group by dt.d_year, item.i_brand, item.i_brand_id order by dt.d_year, 4 desc limit 100`,
+		FixedSec: 0.0273, SerialSec: 0.0091, ScanSecGB: 0.00637, ShufSecGB: 0.00091, CoordSec: 0.000455,
+	},
+	{
+		ID: "TPCDS-Q53", Suite: TPCDS, Number: 53,
+		SQL: `select * from (select i_manufact_id, sum(ss_sales_price) sum_sales,
+  avg(sum(ss_sales_price)) over (partition by i_manufact_id) avg_quarterly_sales
+  from item, store_sales, date_dim, store where ss_item_sk = i_item_sk ...)
+where case when avg_quarterly_sales > 0 then abs(sum_sales-avg_quarterly_sales)/avg_quarterly_sales
+  else null end > 0.1 order by avg_quarterly_sales limit 100`,
+		FixedSec: 0.1001, SerialSec: 0.0455, ScanSecGB: 0.01092, ShufSecGB: 0.00637, CoordSec: 0.00455,
+	},
+	{
+		ID: "TPCDS-Q55", Suite: TPCDS, Number: 55,
+		SQL: `select i_brand_id brand_id, i_brand brand, sum(ss_ext_sales_price) ext_price
+from date_dim, store_sales, item
+where d_date_sk = ss_sold_date_sk and ss_item_sk = i_item_sk
+  and i_manager_id = 28 and d_moy = 11 and d_year = 1999
+group by i_brand, i_brand_id order by ext_price desc limit 100`,
+		FixedSec: 0.02275, SerialSec: 0.0091, ScanSecGB: 0.00546, ShufSecGB: 0.00091, CoordSec: 0.000455,
+	},
+	{
+		ID: "TPCDS-Q59", Suite: TPCDS, Number: 59,
+		SQL: `with wss as (select d_week_seq, ss_store_sk, sum(case when (d_day_name='Sunday')
+  then ss_sales_price else null end) sun_sales, ... from store_sales, date_dim
+  group by d_week_seq, ss_store_sk)
+select s_store_name1, s_store_id1, d_week_seq1, sun_sales1/sun_sales2, ...
+from wss y, store, date_dim d, wss x ... limit 100`,
+		FixedSec: 0.1274, SerialSec: 0.0728, ScanSecGB: 0.0182, ShufSecGB: 0.01092, CoordSec: 0.0091,
+	},
+	{
+		ID: "TPCDS-Q60", Suite: TPCDS, Number: 60,
+		SQL: `with ss as (select i_item_id, sum(ss_ext_sales_price) total_sales from store_sales ...),
+ cs as (select i_item_id, sum(cs_ext_sales_price) from catalog_sales ...),
+ ws as (select i_item_id, sum(ws_ext_sales_price) from web_sales ...)
+select i_item_id, sum(total_sales) from (select * from ss union all ...) tmp
+group by i_item_id order by i_item_id, total_sales limit 100`,
+		FixedSec: 0.1456, SerialSec: 0.0819, ScanSecGB: 0.02275, ShufSecGB: 0.0182, CoordSec: 0.0182,
+	},
+	{
+		ID: "TPCDS-Q63", Suite: TPCDS, Number: 63,
+		SQL: `select * from (select i_manager_id, sum(ss_sales_price) sum_sales,
+  avg(sum(ss_sales_price)) over (partition by i_manager_id) avg_monthly_sales
+  from item, store_sales, date_dim, store ...) tmp1
+where case when avg_monthly_sales > 0 then ... end > 0.1
+order by i_manager_id, avg_monthly_sales, sum_sales limit 100`,
+		FixedSec: 0.1001, SerialSec: 0.0455, ScanSecGB: 0.01092, ShufSecGB: 0.00637, CoordSec: 0.00455,
+	},
+	{
+		ID: "TPCDS-Q68", Suite: TPCDS, Number: 68,
+		SQL: `select c_last_name, c_first_name, ca_city, bought_city, ss_ticket_number,
+  extended_price, extended_tax, list_price
+from (select ss_ticket_number, ss_customer_sk, ca_city bought_city,
+  sum(ss_ext_sales_price) extended_price, ... from store_sales, date_dim, store,
+  household_demographics, customer_address ...) dn, customer, customer_address ... limit 100`,
+		FixedSec: 0.1092, SerialSec: 0.0546, ScanSecGB: 0.01365, ShufSecGB: 0.01183, CoordSec: 0.0091,
+	},
+	{
+		ID: "TPCDS-Q73", Suite: TPCDS, Number: 73,
+		SQL: `select c_last_name, c_first_name, c_salutation, c_preferred_cust_flag,
+  ss_ticket_number, cnt from (select ss_ticket_number, ss_customer_sk, count(*) cnt
+  from store_sales, date_dim, store, household_demographics
+  where d_dom between 1 and 2 ...) dj, customer
+where cnt between 5 and 10 order by cnt desc`,
+		FixedSec: 0.091, SerialSec: 0.0364, ScanSecGB: 0.0091, ShufSecGB: 0.00637, CoordSec: 0.00455,
+	},
+	{
+		ID: "TPCDS-Q74", Suite: TPCDS, Number: 74,
+		SQL: `with year_total as (select c_customer_id customer_id, c_first_name, c_last_name,
+  d_year as year, sum(ss_net_paid) year_total, 's' sale_type
+  from customer, store_sales, date_dim group by ... union all
+  select ..., 'w' from customer, web_sales, date_dim ...)
+select t_s_secyear.customer_id, ... order by 1, 1, 1 limit 100`,
+		FixedSec: 0.182, SerialSec: 0.1638, ScanSecGB: 0.04095, ShufSecGB: 0.03458, CoordSec: 0.05005,
+	},
+	{
+		ID: "TPCDS-Q79", Suite: TPCDS, Number: 79,
+		SQL: `select c_last_name, c_first_name, substr(s_city,1,30), ss_ticket_number, amt, profit
+from (select ss_ticket_number, ss_customer_sk, store.s_city,
+  sum(ss_coupon_amt) amt, sum(ss_net_profit) profit
+  from store_sales, date_dim, store, household_demographics ...) ms, customer
+order by c_last_name, c_first_name, substr(s_city,1,30), profit limit 100`,
+		FixedSec: 0.1001, SerialSec: 0.0455, ScanSecGB: 0.01183, ShufSecGB: 0.00819, CoordSec: 0.00637,
+	},
+	{
+		ID: "TPCDS-Q89", Suite: TPCDS, Number: 89,
+		SQL: `select * from (select i_category, i_class, i_brand, s_store_name, s_company_name,
+  d_moy, sum(ss_sales_price) sum_sales,
+  avg(sum(ss_sales_price)) over (partition by i_category, i_brand, ...) avg_monthly_sales
+  from item, store_sales, date_dim, store ...) tmp1
+where case when (avg_monthly_sales <> 0) then ... end > 0.1 order by ... limit 100`,
+		FixedSec: 0.1092, SerialSec: 0.0546, ScanSecGB: 0.01274, ShufSecGB: 0.00728, CoordSec: 0.00546,
+	},
+	{
+		ID: "TPCDS-Q96", Suite: TPCDS, Number: 96,
+		SQL: `select count(*) from store_sales, household_demographics, time_dim, store
+where ss_sold_time_sk = time_dim.t_time_sk and ss_hdemo_sk = household_demographics.hd_demo_sk
+  and time_dim.t_hour = 20 and time_dim.t_minute >= 30
+  and household_demographics.hd_dep_count = 7 order by count(*) limit 100`,
+		FixedSec: 0.0182, SerialSec: 0.00455, ScanSecGB: 0.00546, ShufSecGB: 0.000455, CoordSec: 0.000455,
+	},
+	{
+		ID: "TPCDS-Q98", Suite: TPCDS, Number: 98,
+		SQL: `select i_item_id, i_item_desc, i_category, i_class, i_current_price,
+  sum(ss_ext_sales_price) as itemrevenue,
+  sum(ss_ext_sales_price)*100/sum(sum(ss_ext_sales_price)) over (partition by i_class)
+from store_sales, item, date_dim where ss_item_sk = i_item_sk
+  and i_category in ('Sports','Books','Home') ...
+group by i_item_id, i_item_desc, i_category, i_class, i_current_price order by ...`,
+		FixedSec: 0.0455, SerialSec: 0.0182, ScanSecGB: 0.01183, ShufSecGB: 0.00182, CoordSec: 0.00091,
+	},
+}

@@ -1,0 +1,198 @@
+package queries
+
+// tpchClasses holds the 22 TPC-H query templates. Latency profiles are
+// calibrated against the behaviour the paper measures on its commercial
+// MPPDB (Fig 1.1): Q1 — a single-table scan/aggregate — scales out nearly
+// linearly, while Q19 — a selective multi-predicate join — pays shuffle and
+// coordination costs that flatten its speedup curve. Remaining profiles
+// follow each query's dominant access pattern (scan-heavy aggregates are
+// Scan-dominated; multi-way joins carry Shuffle/Coord terms; top-k and
+// correlated-subquery templates carry a Serial tail).
+var tpchClasses = []*Class{
+	{
+		ID: "TPCH-Q1", Suite: TPCH, Number: 1,
+		SQL: `select l_returnflag, l_linestatus, sum(l_quantity), sum(l_extendedprice),
+  sum(l_extendedprice*(1-l_discount)), avg(l_quantity), count(*)
+from lineitem where l_shipdate <= date '1998-12-01' - interval '90' day
+group by l_returnflag, l_linestatus order by l_returnflag, l_linestatus`,
+		FixedSec: 0.0728, SerialSec: 0.0273, ScanSecGB: 0.05005, ShufSecGB: 0.00182, CoordSec: 0.00182,
+	},
+	{
+		ID: "TPCH-Q2", Suite: TPCH, Number: 2,
+		SQL: `select s_acctbal, s_name, n_name, p_partkey, p_mfgr
+from part, supplier, partsupp, nation, region
+where p_partkey = ps_partkey and s_suppkey = ps_suppkey and p_size = 15
+  and r_name = 'EUROPE' and ps_supplycost = (select min(ps_supplycost) ...)
+order by s_acctbal desc limit 100`,
+		FixedSec: 0.1092, SerialSec: 0.0728, ScanSecGB: 0.00455, ShufSecGB: 0.0091, CoordSec: 0.0091,
+	},
+	{
+		ID: "TPCH-Q3", Suite: TPCH, Number: 3,
+		SQL: `select l_orderkey, sum(l_extendedprice*(1-l_discount)) as revenue,
+  o_orderdate, o_shippriority
+from customer, orders, lineitem
+where c_mktsegment = 'BUILDING' and c_custkey = o_custkey and l_orderkey = o_orderkey
+group by l_orderkey, o_orderdate, o_shippriority order by revenue desc limit 10`,
+		FixedSec: 0.1183, SerialSec: 0.0546, ScanSecGB: 0.01638, ShufSecGB: 0.01092, CoordSec: 0.00728,
+	},
+	{
+		ID: "TPCH-Q4", Suite: TPCH, Number: 4,
+		SQL: `select o_orderpriority, count(*) as order_count from orders
+where o_orderdate >= date '1993-07-01' and exists
+  (select * from lineitem where l_orderkey = o_orderkey and l_commitdate < l_receiptdate)
+group by o_orderpriority order by o_orderpriority`,
+		FixedSec: 0.1001, SerialSec: 0.0364, ScanSecGB: 0.01092, ShufSecGB: 0.00728, CoordSec: 0.00455,
+	},
+	{
+		ID: "TPCH-Q5", Suite: TPCH, Number: 5,
+		SQL: `select n_name, sum(l_extendedprice*(1-l_discount)) as revenue
+from customer, orders, lineitem, supplier, nation, region
+where r_name = 'ASIA' and o_orderdate >= date '1994-01-01'
+group by n_name order by revenue desc`,
+		FixedSec: 0.1274, SerialSec: 0.0637, ScanSecGB: 0.0182, ShufSecGB: 0.01638, CoordSec: 0.01092,
+	},
+	{
+		ID: "TPCH-Q6", Suite: TPCH, Number: 6,
+		SQL: `select sum(l_extendedprice*l_discount) as revenue from lineitem
+where l_shipdate >= date '1994-01-01' and l_discount between 0.05 and 0.07
+  and l_quantity < 24`,
+		FixedSec: 0.0364, SerialSec: 0.0091, ScanSecGB: 0.00728, ShufSecGB: 0, CoordSec: 0.00091,
+	},
+	{
+		ID: "TPCH-Q7", Suite: TPCH, Number: 7,
+		SQL: `select supp_nation, cust_nation, l_year, sum(volume) as revenue
+from (select n1.n_name as supp_nation, n2.n_name as cust_nation,
+  extract(year from l_shipdate) as l_year, l_extendedprice*(1-l_discount) as volume
+  from supplier, lineitem, orders, customer, nation n1, nation n2 ...) as shipping
+group by supp_nation, cust_nation, l_year order by 1, 2, 3`,
+		FixedSec: 0.1365, SerialSec: 0.0546, ScanSecGB: 0.01638, ShufSecGB: 0.0182, CoordSec: 0.01365,
+	},
+	{
+		ID: "TPCH-Q8", Suite: TPCH, Number: 8,
+		SQL: `select o_year, sum(case when nation = 'BRAZIL' then volume else 0 end)/sum(volume)
+from (select extract(year from o_orderdate) as o_year,
+  l_extendedprice*(1-l_discount) as volume, n2.n_name as nation
+  from part, supplier, lineitem, orders, customer, nation n1, nation n2, region ...)
+group by o_year order by o_year`,
+		FixedSec: 0.1456, SerialSec: 0.0637, ScanSecGB: 0.01365, ShufSecGB: 0.02002, CoordSec: 0.01638,
+	},
+	{
+		ID: "TPCH-Q9", Suite: TPCH, Number: 9,
+		SQL: `select nation, o_year, sum(amount) as sum_profit
+from (select n_name as nation, extract(year from o_orderdate) as o_year,
+  l_extendedprice*(1-l_discount) - ps_supplycost*l_quantity as amount
+  from part, supplier, lineitem, partsupp, orders, nation ...)
+group by nation, o_year order by nation, o_year desc`,
+		FixedSec: 0.1638, SerialSec: 0.1092, ScanSecGB: 0.04095, ShufSecGB: 0.03185, CoordSec: 0.0455,
+	},
+	{
+		ID: "TPCH-Q10", Suite: TPCH, Number: 10,
+		SQL: `select c_custkey, c_name, sum(l_extendedprice*(1-l_discount)) as revenue
+from customer, orders, lineitem, nation
+where l_returnflag = 'R' and c_custkey = o_custkey and l_orderkey = o_orderkey
+group by c_custkey, c_name, ... order by revenue desc limit 20`,
+		FixedSec: 0.1183, SerialSec: 0.0455, ScanSecGB: 0.01456, ShufSecGB: 0.01092, CoordSec: 0.00728,
+	},
+	{
+		ID: "TPCH-Q11", Suite: TPCH, Number: 11,
+		SQL: `select ps_partkey, sum(ps_supplycost*ps_availqty) as value
+from partsupp, supplier, nation where n_name = 'GERMANY'
+group by ps_partkey having sum(ps_supplycost*ps_availqty) >
+  (select sum(ps_supplycost*ps_availqty)*0.0001 from partsupp, supplier, nation ...)`,
+		FixedSec: 0.091, SerialSec: 0.0455, ScanSecGB: 0.00364, ShufSecGB: 0.00546, CoordSec: 0.00455,
+	},
+	{
+		ID: "TPCH-Q12", Suite: TPCH, Number: 12,
+		SQL: `select l_shipmode, sum(case when o_orderpriority in ('1-URGENT','2-HIGH') then 1 else 0 end)
+from orders, lineitem where o_orderkey = l_orderkey
+  and l_shipmode in ('MAIL','SHIP') and l_receiptdate >= date '1994-01-01'
+group by l_shipmode order by l_shipmode`,
+		FixedSec: 0.0364, SerialSec: 0.01365, ScanSecGB: 0.01092, ShufSecGB: 0.00091, CoordSec: 0.000455,
+	},
+	{
+		ID: "TPCH-Q13", Suite: TPCH, Number: 13,
+		SQL: `select c_count, count(*) as custdist
+from (select c_custkey, count(o_orderkey) as c_count from customer
+  left outer join orders on c_custkey = o_custkey
+  and o_comment not like '%special%requests%' group by c_custkey) as c_orders
+group by c_count order by custdist desc, c_count desc`,
+		FixedSec: 0.1092, SerialSec: 0.0728, ScanSecGB: 0.02002, ShufSecGB: 0.01365, CoordSec: 0.0091,
+	},
+	{
+		ID: "TPCH-Q14", Suite: TPCH, Number: 14,
+		SQL: `select 100.00 * sum(case when p_type like 'PROMO%'
+  then l_extendedprice*(1-l_discount) else 0 end) / sum(l_extendedprice*(1-l_discount))
+from lineitem, part where l_partkey = p_partkey and l_shipdate >= date '1995-09-01'`,
+		FixedSec: 0.0364, SerialSec: 0.0091, ScanSecGB: 0.0091, ShufSecGB: 0.00091, CoordSec: 0.000455,
+	},
+	{
+		ID: "TPCH-Q15", Suite: TPCH, Number: 15,
+		SQL: `with revenue as (select l_suppkey as supplier_no,
+  sum(l_extendedprice*(1-l_discount)) as total_revenue from lineitem
+  where l_shipdate >= date '1996-01-01' group by l_suppkey)
+select s_suppkey, s_name, total_revenue from supplier, revenue
+where s_suppkey = supplier_no and total_revenue = (select max(total_revenue) from revenue)`,
+		FixedSec: 0.0364, SerialSec: 0.01365, ScanSecGB: 0.01092, ShufSecGB: 0.00091, CoordSec: 0.000455,
+	},
+	{
+		ID: "TPCH-Q16", Suite: TPCH, Number: 16,
+		SQL: `select p_brand, p_type, p_size, count(distinct ps_suppkey) as supplier_cnt
+from partsupp, part where p_partkey = ps_partkey and p_brand <> 'Brand#45'
+group by p_brand, p_type, p_size order by supplier_cnt desc`,
+		FixedSec: 0.091, SerialSec: 0.0546, ScanSecGB: 0.00546, ShufSecGB: 0.00728, CoordSec: 0.00546,
+	},
+	{
+		ID: "TPCH-Q17", Suite: TPCH, Number: 17,
+		SQL: `select sum(l_extendedprice) / 7.0 as avg_yearly from lineitem, part
+where p_partkey = l_partkey and p_brand = 'Brand#23' and p_container = 'MED BOX'
+  and l_quantity < (select 0.2*avg(l_quantity) from lineitem where l_partkey = p_partkey)`,
+		FixedSec: 0.1365, SerialSec: 0.091, ScanSecGB: 0.0273, ShufSecGB: 0.02275, CoordSec: 0.0273,
+	},
+	{
+		ID: "TPCH-Q18", Suite: TPCH, Number: 18,
+		SQL: `select c_name, c_custkey, o_orderkey, o_orderdate, o_totalprice, sum(l_quantity)
+from customer, orders, lineitem
+where o_orderkey in (select l_orderkey from lineitem group by l_orderkey
+  having sum(l_quantity) > 300)
+group by c_name, c_custkey, o_orderkey, ... order by o_totalprice desc limit 100`,
+		FixedSec: 0.1456, SerialSec: 0.0819, ScanSecGB: 0.02548, ShufSecGB: 0.01638, CoordSec: 0.01092,
+	},
+	{
+		ID: "TPCH-Q19", Suite: TPCH, Number: 19,
+		SQL: `select sum(l_extendedprice*(1-l_discount)) as revenue from lineitem, part
+where (p_partkey = l_partkey and p_brand = 'Brand#12'
+    and p_container in ('SM CASE','SM BOX','SM PACK','SM PKG')
+    and l_quantity >= 1 and l_quantity <= 11 and p_size between 1 and 5
+    and l_shipmode in ('AIR','AIR REG') and l_shipinstruct = 'DELIVER IN PERSON')
+   or (p_partkey = l_partkey and p_brand = 'Brand#23' ...)
+   or (p_partkey = l_partkey and p_brand = 'Brand#34' ...)`,
+		FixedSec: 0.1365, SerialSec: 0.1365, ScanSecGB: 0.0273, ShufSecGB: 0.02275, CoordSec: 0.0455,
+	},
+	{
+		ID: "TPCH-Q20", Suite: TPCH, Number: 20,
+		SQL: `select s_name, s_address from supplier, nation
+where s_suppkey in (select ps_suppkey from partsupp where ps_partkey in
+  (select p_partkey from part where p_name like 'forest%') and ps_availqty >
+  (select 0.5*sum(l_quantity) from lineitem ...)) and n_name = 'CANADA'
+order by s_name`,
+		FixedSec: 0.1274, SerialSec: 0.0728, ScanSecGB: 0.01365, ShufSecGB: 0.01365, CoordSec: 0.01365,
+	},
+	{
+		ID: "TPCH-Q21", Suite: TPCH, Number: 21,
+		SQL: `select s_name, count(*) as numwait from supplier, lineitem l1, orders, nation
+where s_suppkey = l1.l_suppkey and o_orderstatus = 'F' and l1.l_receiptdate > l1.l_commitdate
+  and exists (select * from lineitem l2 where l2.l_orderkey = l1.l_orderkey ...)
+  and not exists (select * from lineitem l3 where l3.l_orderkey = l1.l_orderkey ...)
+group by s_name order by numwait desc limit 100`,
+		FixedSec: 0.1638, SerialSec: 0.1092, ScanSecGB: 0.03185, ShufSecGB: 0.0273, CoordSec: 0.04095,
+	},
+	{
+		ID: "TPCH-Q22", Suite: TPCH, Number: 22,
+		SQL: `select cntrycode, count(*) as numcust, sum(c_acctbal) as totacctbal
+from (select substring(c_phone from 1 for 2) as cntrycode, c_acctbal from customer
+  where substring(c_phone from 1 for 2) in ('13','31','23','29','30','18','17')
+  and c_acctbal > (select avg(c_acctbal) from customer where c_acctbal > 0.00) ...)
+group by cntrycode order by cntrycode`,
+		FixedSec: 0.0819, SerialSec: 0.0364, ScanSecGB: 0.00455, ShufSecGB: 0.00273, CoordSec: 0.00273,
+	},
+}

@@ -1,0 +1,268 @@
+// Package replay drives a live deployment with recorded tenant logs: it
+// materializes every query submission in a time window, routes each through
+// the deployment's per-group routers at its logged time (open loop), and
+// samples run-time statistics. This is the run-time half of the evaluation
+// testbed — the §7.5 elastic-scaling experiment and the SLA-attainment
+// validation both run on it.
+package replay
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/master"
+	"repro/internal/monitor"
+	"repro/internal/queries"
+	"repro/internal/scaling"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// TakeOver reproduces the §7.5 intervention: "we manually took over a tenant
+// at time Y and continuously submitted queries to the system on behalf of
+// that tenant".
+type TakeOver struct {
+	// Tenant to take over.
+	Tenant string
+	// Start of the continuous submission.
+	Start sim.Time
+	// Interval between submissions (continuous = shorter than the query
+	// latency).
+	Interval time.Duration
+	// ClassID of the query to hammer with.
+	ClassID string
+}
+
+// Failure injects a node failure (§4.4): at At, one node of the group's
+// MPPDB fails; the MPPDB stays online with degraded throughput while a
+// replacement node starts (cluster.StartupTime for a single node), after
+// which full speed is restored.
+type Failure struct {
+	// At is the failure instant.
+	At sim.Time
+	// Group identifies the tenant-group.
+	Group string
+	// Instance indexes the group's MPPDBs (0 = the tuning MPPDB G₀).
+	Instance int
+}
+
+// Options configures a replay run.
+type Options struct {
+	// From and To bound the replayed window.
+	From, To sim.Time
+	// EnableScaling arms the lightweight elastic scaler.
+	EnableScaling bool
+	// ScalerConfig parameterizes the scaler when enabled.
+	ScalerConfig scaling.Config
+	// SampleEvery sets the statistics sampling period (default 10 min).
+	SampleEvery time.Duration
+	// TakeOver, when non-nil, injects the §7.5 over-activity.
+	TakeOver *TakeOver
+	// Failures injects node failures.
+	Failures []Failure
+}
+
+// FailureEvent records an injected failure's lifecycle.
+type FailureEvent struct {
+	Failure
+	// RepairedAt is when the replacement node restored full speed.
+	RepairedAt sim.Time
+	// Err is non-empty when the injection could not be applied.
+	Err string
+}
+
+// Sample is one point of a group's run-time timeline.
+type Sample struct {
+	At     sim.Time
+	RTTTP  float64
+	Active int
+}
+
+// Report is the outcome of a replay.
+type Report struct {
+	// Samples holds each group's timeline.
+	Samples map[string][]Sample
+	// Records are all completed queries.
+	Records []monitor.QueryRecord
+	// ScalingEvents are the elastic-scaling actions taken (empty when
+	// scaling is disabled).
+	ScalingEvents []scaling.Event
+	// FailureEvents are the injected node failures and their repairs.
+	FailureEvents []FailureEvent
+	// Submitted and SubmitErrors count routing attempts and failures.
+	Submitted    int
+	SubmitErrors int
+}
+
+// SLAAttainment returns the fraction of completed queries that met their
+// latency SLA.
+func (r *Report) SLAAttainment() float64 {
+	if len(r.Records) == 0 {
+		return 1
+	}
+	met := 0
+	for _, rec := range r.Records {
+		if rec.SLAMet() {
+			met++
+		}
+	}
+	return float64(met) / float64(len(r.Records))
+}
+
+// MinRTTTP returns the lowest sampled RT-TTP of the group.
+func (r *Report) MinRTTTP(group string) float64 {
+	min := 1.0
+	for _, s := range r.Samples[group] {
+		if s.RTTTP < min {
+			min = s.RTTTP
+		}
+	}
+	return min
+}
+
+// Run replays the logs' query events in [From, To) against the deployment.
+// Tenants in the logs that are not deployed (e.g. excluded ones) are
+// skipped. The engine is run to completion of the window plus any in-flight
+// queries.
+func Run(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
+	logs []*workload.TenantLog, opts Options) (*Report, error) {
+	if opts.To <= opts.From {
+		return nil, fmt.Errorf("replay: window [%v,%v)", opts.From, opts.To)
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 10 * time.Minute
+	}
+	if eng.Now() > opts.From {
+		return nil, fmt.Errorf("replay: engine already at %v, window starts %v", eng.Now(), opts.From)
+	}
+	rep := &Report{Samples: make(map[string][]Sample)}
+
+	// Schedule query submissions.
+	for _, tl := range logs {
+		if _, ok := dep.GroupFor(tl.Tenant.ID); !ok {
+			continue
+		}
+		for _, ev := range tl.Materialize(opts.From, opts.To) {
+			ev := ev
+			class, ok := cat.ByID(ev.ClassID)
+			if !ok {
+				return nil, fmt.Errorf("replay: unknown query class %s", ev.ClassID)
+			}
+			eng.Schedule(ev.At, func(sim.Time) {
+				rep.Submitted++
+				if _, err := dep.SubmitWithTarget(ev.Tenant, class, ev.SLATarget); err != nil {
+					rep.SubmitErrors++
+				}
+			})
+		}
+	}
+
+	// Take-over injection. The interval is a floor, not an open-loop rate:
+	// a new query is only submitted once the previous one finishes — the
+	// paper's tester "continuously submitted queries" one after another
+	// (§7.5). An open loop with an interval under the query latency would
+	// grow an unbounded queue, which no real client does, and the victim's
+	// self-inflicted slowdown would drown the group's numbers.
+	if to := opts.TakeOver; to != nil {
+		class, ok := cat.ByID(to.ClassID)
+		if !ok {
+			return nil, fmt.Errorf("replay: unknown take-over class %s", to.ClassID)
+		}
+		group, ok := dep.GroupFor(to.Tenant)
+		if !ok {
+			return nil, fmt.Errorf("replay: take-over tenant %s not deployed", to.Tenant)
+		}
+		var hammer func(now sim.Time)
+		hammer = func(now sim.Time) {
+			if now >= opts.To {
+				return
+			}
+			if group.Router.TenantInFlight(to.Tenant) == 0 {
+				rep.Submitted++
+				if _, err := dep.Submit(to.Tenant, class); err != nil {
+					rep.SubmitErrors++
+				}
+			}
+			eng.After(to.Interval, hammer)
+		}
+		eng.Schedule(to.Start, hammer)
+	}
+
+	// Failure injection: degrade the instance at the failure instant, start
+	// a replacement node, restore full speed when it is up (§4.4).
+	for fi, f := range opts.Failures {
+		fi, f := fi, f
+		rep.FailureEvents = append(rep.FailureEvents, FailureEvent{Failure: f})
+		eng.Schedule(f.At, func(sim.Time) {
+			ev := &rep.FailureEvents[fi]
+			var g *master.DeployedGroup
+			for _, cand := range dep.Groups() {
+				if cand.Plan.ID == f.Group {
+					g = cand
+				}
+			}
+			if g == nil {
+				ev.Err = fmt.Sprintf("no group %q", f.Group)
+				return
+			}
+			if f.Instance < 0 || f.Instance >= len(g.Instances) {
+				ev.Err = fmt.Sprintf("group %s has no instance %d", f.Group, f.Instance)
+				return
+			}
+			inst := g.Instances[f.Instance]
+			if err := inst.FailNode(); err != nil {
+				ev.Err = err.Error()
+				return
+			}
+			eng.After(cluster.StartupTime(1), func(now sim.Time) {
+				if err := inst.RepairNode(); err != nil {
+					ev.Err = err.Error()
+					return
+				}
+				ev.RepairedAt = now
+			})
+		})
+	}
+
+	// Statistics sampling.
+	var sample func(now sim.Time)
+	sample = func(now sim.Time) {
+		for _, g := range dep.Groups() {
+			rep.Samples[g.Plan.ID] = append(rep.Samples[g.Plan.ID], Sample{
+				At:     now,
+				RTTTP:  g.Monitor.RTTTP(),
+				Active: g.Monitor.ActiveTenants(),
+			})
+		}
+		if now < opts.To {
+			eng.After(opts.SampleEvery, sample)
+		}
+	}
+	eng.Schedule(opts.From, sample)
+
+	// Elastic scaling.
+	var scaler *scaling.Scaler
+	if opts.EnableScaling {
+		var err error
+		scaler, err = scaling.New(eng, dep.Pool(), opts.ScalerConfig)
+		if err != nil {
+			return nil, err
+		}
+		for _, t := range dep.ScalerTargets() {
+			scaler.Watch(t)
+		}
+		scaler.Start()
+	}
+
+	eng.Run(opts.To)
+	// Let in-flight queries finish; the scaler's periodic tick would run
+	// forever, so bound the drain at the window end plus a slack day.
+	eng.Run(opts.To + sim.Day)
+
+	rep.Records = dep.Records()
+	if scaler != nil {
+		rep.ScalingEvents = scaler.Events()
+	}
+	return rep, nil
+}

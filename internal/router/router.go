@@ -1,0 +1,214 @@
+// Package router is the run-time Query Router (thesis §3d): it accepts
+// tenant queries and routes each to the proper MPPDB of the tenant's group
+// according to the TDD routing policy (Algorithm 1), reports query
+// completions to the Tenant Activity Monitor, and supports re-pointing
+// over-active tenants to dedicated MPPDBs after elastic scaling.
+package router
+
+import (
+	"fmt"
+
+	"repro/internal/monitor"
+	"repro/internal/mppdb"
+	"repro/internal/queries"
+	"repro/internal/sim"
+	"repro/internal/tdd"
+	"repro/internal/tenant"
+)
+
+// GroupRouter routes queries for one tenant-group.
+type GroupRouter struct {
+	eng   *sim.Engine
+	group string
+	dbs   []*mppdb.Instance // index 0 is the tuning MPPDB G₀
+	mon   *monitor.GroupMonitor
+
+	tenants map[string]*tenant.Tenant
+	// overrides maps an over-active tenant to the dedicated MPPDB that now
+	// serves it exclusively.
+	overrides map[string]*mppdb.Instance
+
+	// onResult, when set, observes every completed query.
+	onResult func(monitor.QueryRecord)
+
+	routed   int64
+	overflow int64 // queries sent to a busy G₀ (Algorithm 1 line 10)
+}
+
+// NewGroup builds a router over the group's A MPPDB instances. dbs[0] is the
+// tuning MPPDB. Every member tenant must already be deployed on every
+// instance (the TDD tenant placement).
+func NewGroup(eng *sim.Engine, group string, dbs []*mppdb.Instance,
+	members []*tenant.Tenant, mon *monitor.GroupMonitor) (*GroupRouter, error) {
+	if len(dbs) == 0 {
+		return nil, fmt.Errorf("router: group %s has no MPPDBs", group)
+	}
+	r := &GroupRouter{
+		eng:       eng,
+		group:     group,
+		dbs:       dbs,
+		mon:       mon,
+		tenants:   make(map[string]*tenant.Tenant, len(members)),
+		overrides: make(map[string]*mppdb.Instance),
+	}
+	for _, m := range members {
+		r.tenants[m.ID] = m
+		for _, db := range dbs {
+			if !db.HasTenant(m.ID) {
+				return nil, fmt.Errorf("router: tenant %s not deployed on %s", m.ID, db.ID())
+			}
+		}
+	}
+	return r, nil
+}
+
+// Group returns the group's identifier.
+func (r *GroupRouter) Group() string { return r.group }
+
+// Instances returns the group's MPPDBs (G₀ first).
+func (r *GroupRouter) Instances() []*mppdb.Instance { return r.dbs }
+
+// Members returns the number of member tenants.
+func (r *GroupRouter) Members() int { return len(r.tenants) }
+
+// HasTenant reports whether the tenant belongs to this group.
+func (r *GroupRouter) HasTenant(id string) bool {
+	_, ok := r.tenants[id]
+	return ok
+}
+
+// OnResult registers an observer for completed queries.
+func (r *GroupRouter) OnResult(fn func(monitor.QueryRecord)) { r.onResult = fn }
+
+// SetOverride directs all future queries of the tenant to a dedicated MPPDB
+// (the §5.1 elastic-scaling outcome: "Thrifty routed all the queries to the
+// new MPPDB"). The instance must be Ready and hold the tenant's data.
+func (r *GroupRouter) SetOverride(tenantID string, db *mppdb.Instance) error {
+	if _, ok := r.tenants[tenantID]; !ok {
+		return fmt.Errorf("router: tenant %s not in group %s", tenantID, r.group)
+	}
+	if db.State() != mppdb.Ready {
+		return fmt.Errorf("router: override MPPDB %s is %v", db.ID(), db.State())
+	}
+	if !db.HasTenant(tenantID) {
+		return fmt.Errorf("router: override MPPDB %s lacks tenant %s", db.ID(), tenantID)
+	}
+	r.overrides[tenantID] = db
+	if r.mon != nil {
+		r.mon.Exclude(tenantID)
+	}
+	return nil
+}
+
+// Override returns the tenant's dedicated MPPDB, if any.
+func (r *GroupRouter) Override(tenantID string) (*mppdb.Instance, bool) {
+	db, ok := r.overrides[tenantID]
+	return db, ok
+}
+
+// TenantInFlight returns how many of the tenant's queries are currently
+// executing anywhere the router can see (group MPPDBs plus a dedicated
+// override instance).
+func (r *GroupRouter) TenantInFlight(tenantID string) int {
+	n := 0
+	for _, db := range r.dbs {
+		n += db.TenantRunning(tenantID)
+	}
+	if db, ok := r.overrides[tenantID]; ok {
+		n += db.TenantRunning(tenantID)
+	}
+	return n
+}
+
+// Routed returns the total number of queries routed.
+func (r *GroupRouter) Routed() int64 { return r.routed }
+
+// Overflowed returns the number of queries routed to a busy G₀ because all
+// MPPDBs were occupied (the potential SLA-violation path).
+func (r *GroupRouter) Overflowed() int64 { return r.overflow }
+
+// Submit routes one query for the tenant and starts it on the chosen MPPDB.
+// The SLA target defaults to the isolated latency on the tenant's requested
+// configuration (the before-consolidation latency, §1). The returned
+// instance ID indicates where the query went.
+func (r *GroupRouter) Submit(tenantID string, class *queries.Class) (string, error) {
+	return r.SubmitWithTarget(tenantID, class, 0)
+}
+
+// SubmitWithTarget routes a query with an explicit SLA target — replay uses
+// the duration recorded on the tenant's own dedicated MPPDB (which includes
+// the tenant's self-contention; that slack is the tenant's own business,
+// §4.4). A non-positive target falls back to the isolated latency.
+func (r *GroupRouter) SubmitWithTarget(tenantID string, class *queries.Class, slaTarget sim.Time) (string, error) {
+	tn, ok := r.tenants[tenantID]
+	if !ok {
+		return "", fmt.Errorf("router: unknown tenant %s in group %s", tenantID, r.group)
+	}
+	target, err := r.pick(tenantID)
+	if err != nil {
+		return "", err
+	}
+	if slaTarget <= 0 {
+		slaTarget = sim.Duration(class.Latency(tn.DataGB, tn.Nodes))
+	}
+	submit := r.eng.Now()
+	dbID := target.ID()
+	_, err = target.Submit(tenantID, class, func(res mppdb.Result) {
+		rec := monitor.QueryRecord{
+			Tenant:    tenantID,
+			Class:     class,
+			Submit:    submit,
+			Finish:    res.Finish,
+			SLATarget: slaTarget,
+			MPPDB:     dbID,
+		}
+		if r.mon != nil {
+			r.mon.QueryFinished(rec)
+		}
+		if r.onResult != nil {
+			r.onResult(rec)
+		}
+	})
+	if err != nil {
+		return "", err
+	}
+	// The completion callback fires via a later engine event, never
+	// synchronously inside Submit, so the start is recorded first.
+	if r.mon != nil {
+		r.mon.QueryStarted(tenantID)
+	}
+	r.routed++
+	return dbID, nil
+}
+
+// pick chooses the target instance: a dedicated override if present,
+// otherwise Algorithm 1 over the group's ready MPPDBs.
+func (r *GroupRouter) pick(tenantID string) (*mppdb.Instance, error) {
+	if db, ok := r.overrides[tenantID]; ok {
+		return db, nil
+	}
+	// Only Ready instances participate; a replacement MPPDB still loading
+	// must not receive queries.
+	states := make([]tdd.MPPDBState, 0, len(r.dbs))
+	ready := make([]*mppdb.Instance, 0, len(r.dbs))
+	for _, db := range r.dbs {
+		if db.State() == mppdb.Ready {
+			states = append(states, db)
+			ready = append(ready, db)
+		}
+	}
+	if len(ready) == 0 {
+		return nil, fmt.Errorf("router: group %s has no ready MPPDB", r.group)
+	}
+	idx, err := tdd.Route(tenantID, states)
+	if err != nil {
+		return nil, err
+	}
+	// Detect the overflow path: the chosen MPPDB is busy with other
+	// tenants' queries (concurrent processing on G₀).
+	chosen := ready[idx]
+	if chosen.Busy() && chosen.TenantRunning(tenantID) == 0 {
+		r.overflow++
+	}
+	return chosen, nil
+}

@@ -1,0 +1,283 @@
+// Package scaling implements Thrifty's lightweight elastic scaling (thesis
+// §5.1). When a tenant-group's run-time TTP over the trailing 24-hour window
+// drops below the performance SLA guarantee P, the scaler identifies the
+// over-active tenant(s) — the ones whose recent activity no longer fits the
+// group under the grouping algorithm — provisions a new MPPDB sized for just
+// those tenants, bulk loads only their data (the lightweight part: loading a
+// tenant's 400 GB takes ≈5000 s with parallel loading, versus many hours for
+// the whole group), and re-points their queries to the new instance.
+//
+// Groups that scaled are flagged for the next re-consolidation cycle.
+package scaling
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/epoch"
+	"repro/internal/grouping"
+	"repro/internal/monitor"
+	"repro/internal/mppdb"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+)
+
+// Config controls the scaler.
+type Config struct {
+	// P is the performance SLA guarantee (fraction, e.g. 0.999).
+	P float64
+	// R is the replication factor used by over-active identification.
+	R int
+	// CheckInterval is how often RT-TTP is evaluated.
+	CheckInterval time.Duration
+	// Window is the RT-TTP window (must match the monitors'; 24 h in the
+	// thesis).
+	Window time.Duration
+	// Epoch is the epoch width for over-active identification.
+	Epoch sim.Time
+	// ParallelLoad enables the MPPDB's parallel bulk loading.
+	ParallelLoad bool
+}
+
+// DefaultConfig returns the thesis' settings.
+func DefaultConfig(p float64, r int) Config {
+	return Config{
+		P:             p,
+		R:             r,
+		CheckInterval: 10 * time.Minute,
+		Window:        24 * time.Hour,
+		Epoch:         3 * sim.Second,
+		ParallelLoad:  true,
+	}
+}
+
+// Target is one tenant-group under the scaler's watch.
+type Target struct {
+	Router  *router.GroupRouter
+	Monitor *monitor.GroupMonitor
+	Members []*tenant.Tenant
+}
+
+// Event records one elastic-scaling action.
+type Event struct {
+	// Group is the tenant-group that scaled.
+	Group string
+	// Detected is when RT-TTP fell below P.
+	Detected sim.Time
+	// RTTTP is the group's RT-TTP at detection.
+	RTTTP float64
+	// OverActive lists the tenants moved to the new MPPDB.
+	OverActive []string
+	// MPPDB is the new instance's ID.
+	MPPDB string
+	// Nodes is the new instance's size.
+	Nodes int
+	// Ready is when the new MPPDB began serving (after startup + load).
+	Ready sim.Time
+	// Err is non-empty when the action failed (e.g. node pool exhausted).
+	Err string
+}
+
+// Scaler watches tenant-groups and reacts to RT-TTP drops.
+type Scaler struct {
+	eng  *sim.Engine
+	pool *cluster.Pool
+	cfg  Config
+
+	targets  []*Target
+	scaling  map[string]bool // group currently provisioning
+	disabled map[string]bool // administrator override (§6)
+	reconsol map[string]bool // groups flagged for re-consolidation
+	events   []Event
+	nextID   int
+	started  bool
+}
+
+// New creates a scaler over the shared node pool.
+func New(eng *sim.Engine, pool *cluster.Pool, cfg Config) (*Scaler, error) {
+	if cfg.P <= 0 || cfg.P > 1 {
+		return nil, fmt.Errorf("scaling: P=%v", cfg.P)
+	}
+	if cfg.R < 1 {
+		return nil, fmt.Errorf("scaling: R=%d", cfg.R)
+	}
+	if cfg.CheckInterval <= 0 || cfg.Window <= 0 || cfg.Epoch <= 0 {
+		return nil, fmt.Errorf("scaling: non-positive intervals in %+v", cfg)
+	}
+	return &Scaler{
+		eng:      eng,
+		pool:     pool,
+		cfg:      cfg,
+		scaling:  make(map[string]bool),
+		disabled: make(map[string]bool),
+		reconsol: make(map[string]bool),
+	}, nil
+}
+
+// Watch adds a tenant-group to the scaler.
+func (s *Scaler) Watch(t *Target) { s.targets = append(s.targets, t) }
+
+// Disable suppresses automatic scaling for a group — the §6 manual-tuning
+// path where the administrator instead raises U on the tuning MPPDB.
+func (s *Scaler) Disable(group string) { s.disabled[group] = true }
+
+// Enable re-enables automatic scaling for a group.
+func (s *Scaler) Enable(group string) { delete(s.disabled, group) }
+
+// Events returns all scaling actions so far.
+func (s *Scaler) Events() []Event { return s.events }
+
+// ReconsolidationList returns the groups flagged for the next
+// (re)-consolidation cycle, sorted.
+func (s *Scaler) ReconsolidationList() []string {
+	out := make([]string, 0, len(s.reconsol))
+	for g := range s.reconsol {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Start schedules the periodic RT-TTP checks.
+func (s *Scaler) Start() {
+	if s.started {
+		return
+	}
+	s.started = true
+	var tick func(now sim.Time)
+	tick = func(now sim.Time) {
+		s.check()
+		s.eng.After(s.cfg.CheckInterval, tick)
+	}
+	s.eng.After(s.cfg.CheckInterval, tick)
+}
+
+// check evaluates every watched group once.
+func (s *Scaler) check() {
+	for _, t := range s.targets {
+		g := t.Router.Group()
+		if s.scaling[g] || s.disabled[g] {
+			continue
+		}
+		rt := t.Monitor.RTTTP()
+		if rt >= s.cfg.P {
+			continue
+		}
+		s.scaleUp(t, rt)
+	}
+}
+
+// IdentifyOverActive runs the over-active-tenant-identification algorithm
+// (§5.1): the tenant-grouping algorithm applied to just this group's tenants
+// using their *observed* activity of the trailing window. Tenants that no
+// longer fit into the group's main tenant-group are over-active.
+func (s *Scaler) IdentifyOverActive(t *Target) ([]*tenant.Tenant, error) {
+	now := s.eng.Now()
+	from := now - sim.Duration(s.cfg.Window)
+	if from < 0 {
+		from = 0
+	}
+	horizon := now - from
+	if horizon <= 0 {
+		return nil, nil
+	}
+	grid, err := epoch.NewGrid(s.cfg.Epoch, horizon)
+	if err != nil {
+		return nil, err
+	}
+	prob := &grouping.Problem{D: grid.D, R: s.cfg.R, P: s.cfg.P}
+	members := make(map[string]*tenant.Tenant, len(t.Members))
+	for _, m := range t.Members {
+		if _, overridden := t.Router.Override(m.ID); overridden {
+			continue // already moved out by a previous scaling action
+		}
+		members[m.ID] = m
+		act := t.Monitor.TenantActivity(m.ID).Shift(-from)
+		prob.Items = append(prob.Items, &grouping.Item{
+			ID:    m.ID,
+			Nodes: m.Nodes,
+			Spans: grid.Quantize(act),
+		})
+	}
+	sol, err := grouping.TwoStep(prob)
+	if err != nil {
+		return nil, err
+	}
+	// The largest resulting group stays; everyone else is over-active.
+	stay := 0
+	for i := range sol.Groups {
+		if len(sol.Groups[i].Items) > len(sol.Groups[stay].Items) {
+			stay = i
+		}
+	}
+	var over []*tenant.Tenant
+	for gi := range sol.Groups {
+		if gi == stay {
+			continue
+		}
+		for _, idx := range sol.Groups[gi].Items {
+			over = append(over, members[prob.Items[idx].ID])
+		}
+	}
+	sort.Slice(over, func(i, j int) bool { return over[i].ID < over[j].ID })
+	return over, nil
+}
+
+// scaleUp performs one lightweight scaling action for the group.
+func (s *Scaler) scaleUp(t *Target, rtttp float64) {
+	g := t.Router.Group()
+	ev := Event{Group: g, Detected: s.eng.Now(), RTTTP: rtttp}
+	over, err := s.IdentifyOverActive(t)
+	if err != nil {
+		ev.Err = err.Error()
+		s.events = append(s.events, ev)
+		return
+	}
+	if len(over) == 0 {
+		// Nothing identifiable (e.g. a one-off spike already over); record
+		// nothing and let the next check re-evaluate.
+		return
+	}
+	nodes := 0
+	var dataGB float64
+	for _, m := range over {
+		ev.OverActive = append(ev.OverActive, m.ID)
+		if m.Nodes > nodes {
+			nodes = m.Nodes
+		}
+		dataGB += m.DataGB
+	}
+	s.nextID++
+	id := fmt.Sprintf("%s-scale%d", g, s.nextID)
+	if _, err := s.pool.Acquire(id, nodes); err != nil {
+		ev.Err = err.Error()
+		s.events = append(s.events, ev)
+		return
+	}
+	s.scaling[g] = true
+	inst := mppdb.New(s.eng, id, nodes)
+	inst.SetState(mppdb.Provisioning)
+	for _, m := range over {
+		inst.DeployTenant(m.ID, m.DataGB)
+	}
+	ev.MPPDB = id
+	ev.Nodes = nodes
+	delay := cluster.StartupTime(nodes) + cluster.LoadTime(dataGB, nodes, s.cfg.ParallelLoad)
+	overCopy := over
+	evIdx := len(s.events)
+	s.events = append(s.events, ev)
+	s.eng.After(delay, func(now sim.Time) {
+		inst.SetState(mppdb.Ready)
+		for _, m := range overCopy {
+			if err := t.Router.SetOverride(m.ID, inst); err != nil {
+				s.events[evIdx].Err = err.Error()
+			}
+		}
+		s.events[evIdx].Ready = now
+		s.scaling[g] = false
+		s.reconsol[g] = true
+	})
+}

@@ -1,0 +1,452 @@
+// Package service exposes a Thrifty deployment as an MPPDB-as-a-Service
+// HTTP front end: tenants submit queries (which the Query Router places per
+// Algorithm 1), operators inspect the deployment plan, per-group run-time
+// statistics, completed query records, and scaling events.
+//
+// The execution substrate is the virtual-time simulator; the service paces
+// it against the wall clock with a configurable time-scale factor (virtual
+// seconds per wall second), advancing the engine on every request. At the
+// default 60× scale, a one-minute analytical query completes in one wall
+// second — fast enough to demo, slow enough to watch queries overlap.
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/billing"
+	"repro/internal/master"
+	"repro/internal/monitor"
+	"repro/internal/queries"
+	"repro/internal/sim"
+	"repro/internal/sqlmatch"
+)
+
+// Server is the HTTP front end. It serializes all engine access internally,
+// so a single Server is safe for concurrent HTTP traffic.
+type Server struct {
+	mu        sync.Mutex
+	eng       *sim.Engine
+	dep       *master.Deployment
+	cat       *queries.Catalog
+	plan      *advisor.Plan
+	timeScale float64
+	started   time.Time
+	now       func() time.Time // injectable for tests
+
+	pending []PendingTenant
+	matcher *sqlmatch.Matcher
+	mux     *http.ServeMux
+}
+
+// PendingTenant is a registration awaiting the next (re)-consolidation
+// cycle (§3c: "it is expected that there are new tenants register with and
+// existing tenants de-register with the service").
+type PendingTenant struct {
+	ID    string `json:"id"`
+	Nodes int    `json:"nodes"`
+	Suite string `json:"suite"`
+}
+
+// Config parameterizes the server.
+type Config struct {
+	// TimeScale is virtual seconds advanced per wall-clock second
+	// (default 60).
+	TimeScale float64
+}
+
+// New builds a server over a live deployment.
+func New(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
+	plan *advisor.Plan, cfg Config) (*Server, error) {
+	if eng == nil || dep == nil || cat == nil || plan == nil {
+		return nil, fmt.Errorf("service: nil dependency")
+	}
+	if cfg.TimeScale == 0 {
+		cfg.TimeScale = 60
+	}
+	if cfg.TimeScale < 0 {
+		return nil, fmt.Errorf("service: negative time scale")
+	}
+	s := &Server{
+		eng:       eng,
+		dep:       dep,
+		cat:       cat,
+		plan:      plan,
+		timeScale: cfg.TimeScale,
+		started:   time.Now(),
+		now:       time.Now,
+		matcher:   sqlmatch.New(cat),
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
+	s.mux.HandleFunc("GET /v1/plan", s.handlePlan)
+	s.mux.HandleFunc("GET /v1/groups", s.handleGroups)
+	s.mux.HandleFunc("GET /v1/groups/{id}", s.handleGroup)
+	s.mux.HandleFunc("POST /v1/queries", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/records", s.handleRecords)
+	s.mux.HandleFunc("POST /v1/tenants", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/tenants/pending", s.handlePending)
+	s.mux.HandleFunc("GET /v1/invoices", s.handleInvoices)
+	return s, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// advance moves virtual time to match the scaled wall clock. Callers must
+// hold s.mu.
+func (s *Server) advance() sim.Time {
+	elapsed := s.now().Sub(s.started).Seconds() * s.timeScale
+	target := sim.Time(elapsed * float64(sim.Second))
+	if target > s.eng.Now() {
+		s.eng.Run(target)
+	}
+	return s.eng.Now()
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	now := s.advance()
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":       "ok",
+		"virtual_time": now.String(),
+	})
+}
+
+func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		ID     string `json:"id"`
+		Suite  string `json:"suite"`
+		Linear bool   `json:"linear_scale_out"`
+		SQL    string `json:"sql"`
+	}
+	var out []entry
+	for _, cl := range s.cat.Classes() {
+		out = append(out, entry{ID: cl.ID, Suite: cl.Suite.String(),
+			Linear: cl.LinearScaleOut(), SQL: cl.SQL})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	type group struct {
+		ID        string   `json:"id"`
+		Tenants   []string `json:"tenants"`
+		A         int      `json:"a"`
+		N1        int      `json:"n1"`
+		U         int      `json:"u"`
+		Nodes     int      `json:"nodes"`
+		TTP       float64  `json:"ttp"`
+		MaxActive int      `json:"max_active"`
+	}
+	out := struct {
+		Algorithm      string     `json:"algorithm"`
+		R              int        `json:"r"`
+		P              float64    `json:"p"`
+		RequestedNodes int        `json:"requested_nodes"`
+		NodesUsed      int        `json:"nodes_used"`
+		Effectiveness  float64    `json:"effectiveness"`
+		Groups         []group    `json:"groups"`
+		Excluded       []exclJSON `json:"excluded,omitempty"`
+	}{
+		Algorithm:      s.plan.Algorithm,
+		R:              s.plan.Config.R,
+		P:              s.plan.Config.P,
+		RequestedNodes: s.plan.RequestedNodes,
+		NodesUsed:      s.plan.NodesUsed(),
+		Effectiveness:  s.plan.Effectiveness(),
+	}
+	for _, g := range s.plan.Groups {
+		out.Groups = append(out.Groups, group{
+			ID: g.ID, Tenants: g.TenantIDs,
+			A: g.Design.A, N1: g.Design.N1, U: g.Design.U,
+			Nodes: g.Design.TotalNodes(), TTP: g.TTP, MaxActive: g.MaxActive,
+		})
+	}
+	for _, e := range s.plan.Excluded {
+		out.Excluded = append(out.Excluded, exclJSON{e.TenantID, e.Reason, e.Nodes})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+type exclJSON struct {
+	Tenant string `json:"tenant"`
+	Reason string `json:"reason"`
+	Nodes  int    `json:"nodes"`
+}
+
+type groupStats struct {
+	ID            string  `json:"id"`
+	Members       int     `json:"members"`
+	ActiveTenants int     `json:"active_tenants"`
+	RTTTP         float64 `json:"rt_ttp"`
+	SLAAttainment float64 `json:"sla_attainment"`
+	Instances     []struct {
+		ID      string `json:"id"`
+		Nodes   int    `json:"nodes"`
+		State   string `json:"state"`
+		Running int    `json:"running"`
+	} `json:"instances"`
+}
+
+func (s *Server) groupStats(g *master.DeployedGroup) groupStats {
+	st := groupStats{
+		ID:            g.Plan.ID,
+		Members:       len(g.Members),
+		ActiveTenants: g.Monitor.ActiveTenants(),
+		RTTTP:         g.Monitor.RTTTP(),
+		SLAAttainment: g.Monitor.SLAAttainment(),
+	}
+	for _, inst := range g.Instances {
+		st.Instances = append(st.Instances, struct {
+			ID      string `json:"id"`
+			Nodes   int    `json:"nodes"`
+			State   string `json:"state"`
+			Running int    `json:"running"`
+		}{inst.ID(), inst.Nodes(), inst.State().String(), inst.Running()})
+	}
+	return st
+}
+
+func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.advance()
+	var out []groupStats
+	for _, g := range s.dep.Groups() {
+		out = append(out, s.groupStats(g))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	s.advance()
+	var found *groupStats
+	for _, g := range s.dep.Groups() {
+		if g.Plan.ID == id {
+			st := s.groupStats(g)
+			found = &st
+			break
+		}
+	}
+	s.mu.Unlock()
+	if found == nil {
+		writeErr(w, http.StatusNotFound, "no group %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, found)
+}
+
+// SubmitRequest is the body of POST /v1/queries. Exactly one of Query
+// (a catalog class ID like "TPCH-Q1") or SQL (raw statement text, matched
+// against the catalog templates or classified as ad-hoc — requirement R5)
+// must be set.
+type SubmitRequest struct {
+	Tenant string `json:"tenant"`
+	Query  string `json:"query,omitempty"`
+	SQL    string `json:"sql,omitempty"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	var class *queries.Class
+	template := true
+	switch {
+	case req.Query != "" && req.SQL != "":
+		writeErr(w, http.StatusBadRequest, "set either query or sql, not both")
+		return
+	case req.Query != "":
+		cl, ok := s.cat.ByID(strings.ToUpper(strings.TrimSpace(req.Query)))
+		if !ok {
+			writeErr(w, http.StatusBadRequest, "unknown query class %q", req.Query)
+			return
+		}
+		class = cl
+	case req.SQL != "":
+		res, err := s.matcher.Classify(req.SQL)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		class = res.Class
+		template = res.Template
+	default:
+		writeErr(w, http.StatusBadRequest, "missing query or sql")
+		return
+	}
+	s.mu.Lock()
+	now := s.advance()
+	db, err := s.dep.Submit(req.Tenant, class)
+	s.mu.Unlock()
+	if err != nil {
+		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"tenant":       req.Tenant,
+		"query":        class.ID,
+		"template":     template,
+		"routed_to":    db,
+		"submitted_at": now.String(),
+	})
+}
+
+func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	tenantFilter := r.URL.Query().Get("tenant")
+	s.mu.Lock()
+	s.advance()
+	recs := s.dep.Records()
+	s.mu.Unlock()
+	type rec struct {
+		Tenant     string  `json:"tenant"`
+		Query      string  `json:"query"`
+		MPPDB      string  `json:"mppdb"`
+		Submit     string  `json:"submit"`
+		Finish     string  `json:"finish"`
+		LatencySec float64 `json:"latency_sec"`
+		Normalized float64 `json:"normalized"`
+		SLAMet     bool    `json:"sla_met"`
+	}
+	out := []rec{}
+	for _, q := range recs {
+		if tenantFilter != "" && q.Tenant != tenantFilter {
+			continue
+		}
+		out = append(out, rec{
+			Tenant: q.Tenant, Query: q.Class.ID, MPPDB: q.MPPDB,
+			Submit: q.Submit.String(), Finish: q.Finish.String(),
+			LatencySec: q.Latency().Seconds(),
+			Normalized: q.Normalized(), SLAMet: q.SLAMet(),
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Submit < out[j].Submit })
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	var req PendingTenant
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
+		return
+	}
+	if req.ID == "" || req.Nodes < 1 {
+		writeErr(w, http.StatusBadRequest, "tenant needs id and nodes ≥ 1")
+		return
+	}
+	s.mu.Lock()
+	s.pending = append(s.pending, req)
+	n := len(s.pending)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusAccepted, map[string]any{
+		"status":  "pending",
+		"detail":  "tenant will be placed at the next (re)-consolidation cycle",
+		"pending": n,
+	})
+}
+
+func (s *Server) handlePending(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := append([]PendingTenant(nil), s.pending...)
+	s.mu.Unlock()
+	if out == nil {
+		out = []PendingTenant{}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// Pending returns a copy of the pending tenant registrations.
+func (s *Server) Pending() []PendingTenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]PendingTenant(nil), s.pending...)
+}
+
+// SetClock overrides the wall clock (tests drive time deterministically).
+func (s *Server) SetClock(now func() time.Time, started time.Time) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.now = now
+	s.started = started
+}
+
+// Records exposes the deployment's query records (used by examples).
+func (s *Server) Records() []monitor.QueryRecord {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.dep.Records()
+}
+
+// handleInvoices bills the metering period from the deployment's completed
+// query records under the default tariff (§3's pricing model: requested
+// nodes plus active usage). The period defaults to [0, now).
+func (s *Server) handleInvoices(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	now := s.advance()
+	recs := s.dep.Records()
+	tenants := s.dep.Tenants()
+	s.mu.Unlock()
+	if now <= 0 {
+		writeErr(w, http.StatusUnprocessableEntity, "no metered time yet")
+		return
+	}
+	meter, err := billing.NewMeter(billing.DefaultRates(), tenants)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if err := meter.RecordAll(recs); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	invoices, err := meter.Invoices(0, now)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	type line struct {
+		Tenant    string  `json:"tenant"`
+		Nodes     int     `json:"nodes"`
+		ActiveSec float64 `json:"active_sec"`
+		Queries   int     `json:"queries"`
+		Base      float64 `json:"base"`
+		Usage     float64 `json:"usage"`
+		Total     float64 `json:"total"`
+	}
+	out := make([]line, 0, len(invoices))
+	for _, inv := range invoices {
+		out = append(out, line{
+			Tenant: inv.Tenant, Nodes: inv.Nodes,
+			ActiveSec: inv.ActiveTime.Seconds(), Queries: inv.Queries,
+			Base: inv.Base, Usage: inv.Usage, Total: inv.Total,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}

@@ -1,0 +1,318 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/cluster"
+	"repro/internal/epoch"
+	"repro/internal/master"
+	"repro/internal/queries"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+	"repro/internal/workload"
+)
+
+// testServer deploys four 2-node tenants and wires the HTTP front end with a
+// manually driven clock.
+func testServer(t *testing.T) (*Server, *httptest.Server, func(d time.Duration)) {
+	t.Helper()
+	cat := queries.Default()
+	tenants := map[string]*tenant.Tenant{}
+	var logs []*workload.TenantLog
+	for i := 0; i < 4; i++ {
+		id := "t" + string(rune('1'+i))
+		tn := &tenant.Tenant{ID: id, Nodes: 2, DataGB: 200, Users: 1, Suite: queries.TPCH}
+		tenants[id] = tn
+		w := sim.Time(i) * 6 * sim.Hour
+		logs = append(logs, &workload.TenantLog{
+			Tenant:   tn,
+			Activity: epoch.Activity{{Start: w, End: w + sim.Hour}},
+		})
+	}
+	acfg := advisor.DefaultConfig()
+	acfg.R = 2
+	adv, err := advisor.New(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := adv.Plan(logs, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	m := master.New(eng, cluster.NewPool(64), master.Options{Immediate: true})
+	dep, err := m.Deploy(plan, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(eng, dep, cat, plan, Config{TimeScale: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic wall clock.
+	wall := time.Unix(0, 0)
+	srv.SetClock(func() time.Time { return wall }, time.Unix(0, 0))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return srv, ts, func(d time.Duration) { wall = wall.Add(d) }
+}
+
+func get(t *testing.T, ts *httptest.Server, path string, out any) int {
+	t.Helper()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func post(t *testing.T, ts *httptest.Server, path string, body any, out any) int {
+	t.Helper()
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode %s: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestHealthAndClock(t *testing.T) {
+	_, ts, tick := testServer(t)
+	var h map[string]any
+	if code := get(t, ts, "/healthz", &h); code != 200 {
+		t.Fatalf("healthz status %d", code)
+	}
+	if h["virtual_time"] != "0d00:00:00.000" {
+		t.Errorf("virtual time = %v", h["virtual_time"])
+	}
+	// One wall minute at 60× = one virtual hour.
+	tick(time.Minute)
+	get(t, ts, "/healthz", &h)
+	if h["virtual_time"] != "0d01:00:00.000" {
+		t.Errorf("virtual time after tick = %v", h["virtual_time"])
+	}
+}
+
+func TestCatalogEndpoint(t *testing.T) {
+	_, ts, _ := testServer(t)
+	var out []map[string]any
+	if code := get(t, ts, "/v1/catalog", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if len(out) != 46 {
+		t.Errorf("catalog size %d, want 46", len(out))
+	}
+}
+
+func TestPlanEndpoint(t *testing.T) {
+	_, ts, _ := testServer(t)
+	var out struct {
+		R      int `json:"r"`
+		Groups []struct {
+			ID      string   `json:"id"`
+			Tenants []string `json:"tenants"`
+			A       int      `json:"a"`
+		} `json:"groups"`
+	}
+	if code := get(t, ts, "/v1/plan", &out); code != 200 {
+		t.Fatalf("status %d", code)
+	}
+	if out.R != 2 || len(out.Groups) == 0 {
+		t.Errorf("plan = %+v", out)
+	}
+	for _, g := range out.Groups {
+		if g.A != 2 {
+			t.Errorf("group %s A=%d", g.ID, g.A)
+		}
+	}
+}
+
+func TestSubmitAndRecords(t *testing.T) {
+	_, ts, tick := testServer(t)
+	var acc map[string]any
+	code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", Query: "tpch-q6"}, &acc)
+	if code != http.StatusAccepted {
+		t.Fatalf("submit status %d: %v", code, acc)
+	}
+	if !strings.HasPrefix(acc["routed_to"].(string), "TG-") {
+		t.Errorf("routed_to = %v", acc["routed_to"])
+	}
+	// Advance enough wall time for the query to finish (Q6 on 200GB/2n ≈
+	// 6s virtual = 100ms wall at 60×; give it a minute).
+	tick(time.Minute)
+	var recs []map[string]any
+	if code := get(t, ts, "/v1/records?tenant=t1", &recs); code != 200 {
+		t.Fatalf("records status %d", code)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0]["sla_met"] != true {
+		t.Errorf("record = %+v", recs[0])
+	}
+	// Filter excludes other tenants.
+	get(t, ts, "/v1/records?tenant=t2", &recs)
+	if len(recs) != 0 {
+		t.Errorf("t2 records = %v", recs)
+	}
+}
+
+func TestSubmitErrors(t *testing.T) {
+	_, ts, _ := testServer(t)
+	var out map[string]any
+	if code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "ghost", Query: "TPCH-Q1"}, &out); code != http.StatusUnprocessableEntity {
+		t.Errorf("unknown tenant status %d", code)
+	}
+	if code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", Query: "TPCH-Q99"}, &out); code != http.StatusBadRequest {
+		t.Errorf("unknown class status %d", code)
+	}
+	resp, err := http.Post(ts.URL+"/v1/queries", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad json status %d", resp.StatusCode)
+	}
+}
+
+func TestGroupsEndpoints(t *testing.T) {
+	_, ts, _ := testServer(t)
+	var groups []groupStats
+	if code := get(t, ts, "/v1/groups", &groups); code != 200 {
+		t.Fatalf("groups status %d", code)
+	}
+	if len(groups) == 0 {
+		t.Fatal("no groups")
+	}
+	var one groupStats
+	if code := get(t, ts, "/v1/groups/"+groups[0].ID, &one); code != 200 {
+		t.Fatalf("group status %d", code)
+	}
+	if one.ID != groups[0].ID || len(one.Instances) == 0 {
+		t.Errorf("group = %+v", one)
+	}
+	if code := get(t, ts, "/v1/groups/TG-9999", nil); code != http.StatusNotFound {
+		t.Errorf("missing group status %d", code)
+	}
+}
+
+func TestRegisterTenant(t *testing.T) {
+	srv, ts, _ := testServer(t)
+	var out map[string]any
+	if code := post(t, ts, "/v1/tenants", PendingTenant{ID: "newbie", Nodes: 4, Suite: "TPC-H"}, &out); code != http.StatusAccepted {
+		t.Fatalf("register status %d", code)
+	}
+	if code := post(t, ts, "/v1/tenants", PendingTenant{Nodes: 4}, nil); code != http.StatusBadRequest {
+		t.Errorf("empty id status %d", code)
+	}
+	var pending []PendingTenant
+	if code := get(t, ts, "/v1/tenants/pending", &pending); code != 200 {
+		t.Fatalf("pending status %d", code)
+	}
+	if len(pending) != 1 || pending[0].ID != "newbie" {
+		t.Errorf("pending = %+v", pending)
+	}
+	if got := srv.Pending(); len(got) != 1 {
+		t.Errorf("Pending() = %+v", got)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil, nil, nil, Config{}); err == nil {
+		t.Error("nil deps accepted")
+	}
+}
+
+func TestSubmitRawSQL(t *testing.T) {
+	_, ts, tick := testServer(t)
+	// A re-parameterized catalog template matches and executes as it.
+	var acc map[string]any
+	sql := `select sum(l_extendedprice*l_discount) as revenue from lineitem
+where l_shipdate >= date '1997-03-01' and l_discount between 0.03 and 0.05
+  and l_quantity < 25`
+	code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", SQL: sql}, &acc)
+	if code != http.StatusAccepted {
+		t.Fatalf("sql submit status %d: %v", code, acc)
+	}
+	if acc["query"] != "TPCH-Q6" || acc["template"] != true {
+		t.Errorf("sql classified as %v (template=%v)", acc["query"], acc["template"])
+	}
+	// Ad-hoc SQL is accepted and flagged.
+	code = post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t2", SQL: "select count(*) from lineitem where l_tax > 0.01"}, &acc)
+	if code != http.StatusAccepted {
+		t.Fatalf("ad-hoc status %d: %v", code, acc)
+	}
+	if acc["query"] != "ADHOC" || acc["template"] != false {
+		t.Errorf("ad-hoc classified as %v (template=%v)", acc["query"], acc["template"])
+	}
+	// Non-SELECT is rejected.
+	if code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", SQL: "drop table lineitem"}, nil); code != http.StatusBadRequest {
+		t.Errorf("DDL status %d", code)
+	}
+	// Both query and sql set → rejected.
+	if code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", Query: "TPCH-Q1", SQL: "select 1 from t"}, nil); code != http.StatusBadRequest {
+		t.Errorf("both-set status %d", code)
+	}
+	// Neither set → rejected.
+	if code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1"}, nil); code != http.StatusBadRequest {
+		t.Errorf("neither-set status %d", code)
+	}
+	tick(time.Minute)
+	var recs []map[string]any
+	get(t, ts, "/v1/records?tenant=t2", &recs)
+	if len(recs) != 1 || recs[0]["query"] != "ADHOC" {
+		t.Errorf("ad-hoc record = %v", recs)
+	}
+}
+
+func TestInvoicesEndpoint(t *testing.T) {
+	_, ts, tick := testServer(t)
+	post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", Query: "TPCH-Q6"}, nil)
+	tick(time.Hour) // one wall hour = 60 virtual hours at the test scale
+	var out []struct {
+		Tenant    string  `json:"tenant"`
+		ActiveSec float64 `json:"active_sec"`
+		Total     float64 `json:"total"`
+	}
+	if code := get(t, ts, "/v1/invoices", &out); code != 200 {
+		t.Fatalf("invoices status %d", code)
+	}
+	if len(out) != 4 {
+		t.Fatalf("%d invoices, want 4 (every deployed tenant)", len(out))
+	}
+	var active, idle bool
+	for _, inv := range out {
+		if inv.Total <= 0 {
+			t.Errorf("%s billed %v", inv.Tenant, inv.Total)
+		}
+		if inv.Tenant == "t1" && inv.ActiveSec > 0 {
+			active = true
+		}
+		if inv.Tenant == "t3" && inv.ActiveSec == 0 {
+			idle = true
+		}
+	}
+	if !active || !idle {
+		t.Errorf("usage metering wrong: %+v", out)
+	}
+}

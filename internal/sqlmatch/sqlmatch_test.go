@@ -1,0 +1,142 @@
+package sqlmatch
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/queries"
+)
+
+func TestFingerprintNormalization(t *testing.T) {
+	cases := []struct {
+		a, b string
+	}{
+		{"SELECT * FROM t", "select  *  from   t"},
+		{"select x from t where d >= date '1994-01-01'", "select x from t where d >= date '1998-06-30'"},
+		{"select x from t limit 100", "select x from t limit 10"},
+		{"select x -- comment\nfrom t", "select x from t"},
+		{"select x /* block */ from t", "select x from t"},
+		{"select sum(a*0.5) from t", "select sum(a*0.07) from t"},
+	}
+	for i, c := range cases {
+		if Fingerprint(c.a) != Fingerprint(c.b) {
+			t.Errorf("case %d: %q != %q", i, Fingerprint(c.a), Fingerprint(c.b))
+		}
+	}
+	// Different structure ⇒ different fingerprints.
+	if Fingerprint("select a from t") == Fingerprint("select b from t") {
+		t.Error("distinct columns collided")
+	}
+	// Identifiers with digits survive; pure numbers do not.
+	fp := Fingerprint("select l_shipdate from lineitem where l_quantity < 24")
+	if !strings.Contains(fp, "l_shipdate") || !strings.Contains(fp, "l_quantity") {
+		t.Errorf("identifiers mangled: %q", fp)
+	}
+	if strings.Contains(fp, "24") {
+		t.Errorf("literal survived: %q", fp)
+	}
+}
+
+func TestClassifyTemplates(t *testing.T) {
+	cat := queries.Default()
+	m := New(cat)
+	// Every catalog template must classify back to itself.
+	for _, cl := range cat.Classes() {
+		res, err := m.Classify(cl.SQL)
+		if err != nil {
+			t.Fatalf("%s: %v", cl.ID, err)
+		}
+		if !res.Template || res.Class.ID != cl.ID {
+			t.Errorf("%s classified as %s (template=%v)", cl.ID, res.Class.ID, res.Template)
+		}
+	}
+	// A re-parameterized template still matches.
+	q6, _ := cat.ByID("TPCH-Q6")
+	modified := strings.ReplaceAll(q6.SQL, "1994-01-01", "1997-01-01")
+	modified = strings.ReplaceAll(modified, "24", "25")
+	res, err := m.Classify(modified)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Template || res.Class.ID != "TPCH-Q6" {
+		t.Errorf("re-parameterized Q6 classified as %s", res.Class.ID)
+	}
+}
+
+func TestClassifyAdHoc(t *testing.T) {
+	m := New(queries.Default())
+	res, err := m.Classify("select count(*) from lineitem where l_tax > 0.05")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Template {
+		t.Fatal("ad-hoc classified as a template")
+	}
+	cl := res.Class
+	if cl.ID != "ADHOC" || cl.ScanSecGB <= 0 {
+		t.Errorf("ad-hoc class: %+v", cl)
+	}
+	// lineitem is ~70% of the data; a nation-only query scans far less.
+	small, err := m.Classify("select count(*) from nation")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.Class.ScanSecGB >= cl.ScanSecGB {
+		t.Errorf("nation scan %v ≥ lineitem scan %v", small.Class.ScanSecGB, cl.ScanSecGB)
+	}
+	// Joins add shuffle/coordination.
+	join, err := m.Classify("select * from lineitem, orders, customer where l_orderkey = o_orderkey group by c_name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if join.Class.ShufSecGB <= 0 || join.Class.CoordSec <= 0 {
+		t.Errorf("join query has no shuffle/coord: %+v", join.Class)
+	}
+	if join.Class.SerialSec <= cl.SerialSec {
+		t.Error("grouped query should carry a serial tail")
+	}
+	// Unknown tables get a conservative default.
+	unk, err := m.Classify("select * from mystery_table")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if unk.Class.ScanSecGB <= 0 {
+		t.Error("unknown table got a zero profile")
+	}
+}
+
+func TestClassifyRejects(t *testing.T) {
+	m := New(queries.Default())
+	for _, bad := range []string{"", "   ", "-- just a comment", "drop table lineitem", "update t set x=1"} {
+		if _, err := m.Classify(bad); err == nil {
+			t.Errorf("accepted %q", bad)
+		}
+	}
+	// WITH-prefixed analytical statements are fine.
+	if _, err := m.Classify("with r as (select 1 as x from lineitem) select x from r"); err != nil {
+		t.Errorf("WITH rejected: %v", err)
+	}
+}
+
+func TestContainsWord(t *testing.T) {
+	if containsWord("select part_name from partsupp", "part") {
+		t.Error("matched inside identifiers")
+	}
+	if !containsWord("select p from part", "part") {
+		t.Error("missed whole word at end")
+	}
+	if !containsWord("part p join x", "part") {
+		t.Error("missed whole word at start")
+	}
+}
+
+func TestAdHocLatencyIsPlausible(t *testing.T) {
+	m := New(queries.Default())
+	res, _ := m.Classify("select count(*) from lineitem")
+	// On a 4-node tenant with 400 GB, an ad-hoc full fact scan should be in
+	// the same regime as the catalog (seconds, not hours).
+	lat := res.Class.Latency(400, 4)
+	if lat.Seconds() < 0.3 || lat.Seconds() > 60 {
+		t.Errorf("ad-hoc latency %v outside sane range", lat)
+	}
+}

@@ -1,0 +1,97 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/epoch"
+	"repro/internal/queries"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+)
+
+// The JSON interchange format carries what the Deployment Advisor needs:
+// tenant descriptors and activity intervals. Session templates (needed only
+// for run-time replay) are not serialized — replay works from in-process
+// generation, mirroring how the paper's testbed feeds its own planner.
+
+type logsJSON struct {
+	Version int         `json:"version"`
+	Days    int         `json:"days"`
+	Tenants []tenantLog `json:"tenants"`
+}
+
+type tenantLog struct {
+	ID       string     `json:"id"`
+	Nodes    int        `json:"nodes"`
+	DataGB   float64    `json:"data_gb"`
+	Suite    string     `json:"suite"`
+	Users    int        `json:"users"`
+	Zone     int        `json:"zone_offset_hours"`
+	Activity [][2]int64 `json:"activity_ns"`
+}
+
+// WriteJSON serializes tenant logs (descriptors + activity) for the CLI
+// tool chain.
+func WriteJSON(w io.Writer, logs []*TenantLog, days int) error {
+	out := logsJSON{Version: 1, Days: days}
+	for _, tl := range logs {
+		e := tenantLog{
+			ID:     tl.Tenant.ID,
+			Nodes:  tl.Tenant.Nodes,
+			DataGB: tl.Tenant.DataGB,
+			Suite:  tl.Tenant.Suite.String(),
+			Users:  tl.Tenant.Users,
+			Zone:   tl.Tenant.ZoneOffsetHours,
+		}
+		for _, iv := range tl.Activity {
+			e.Activity = append(e.Activity, [2]int64{int64(iv.Start), int64(iv.End)})
+		}
+		out.Tenants = append(out.Tenants, e)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes tenant logs written by WriteJSON. It returns the
+// logs and the horizon in days.
+func ReadJSON(r io.Reader) ([]*TenantLog, int, error) {
+	var in logsJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, 0, fmt.Errorf("workload: decode logs: %w", err)
+	}
+	if in.Version != 1 {
+		return nil, 0, fmt.Errorf("workload: unsupported log version %d", in.Version)
+	}
+	if in.Days < 1 {
+		return nil, 0, fmt.Errorf("workload: %d-day horizon in logs", in.Days)
+	}
+	var out []*TenantLog
+	for i, e := range in.Tenants {
+		suite := queries.TPCH
+		if e.Suite == queries.TPCDS.String() {
+			suite = queries.TPCDS
+		} else if e.Suite != queries.TPCH.String() {
+			return nil, 0, fmt.Errorf("workload: tenant %d has unknown suite %q", i, e.Suite)
+		}
+		tn := &tenant.Tenant{
+			ID:              e.ID,
+			Nodes:           e.Nodes,
+			DataGB:          e.DataGB,
+			Suite:           suite,
+			Users:           e.Users,
+			ZoneOffsetHours: e.Zone,
+		}
+		if err := tn.Validate(); err != nil {
+			return nil, 0, err
+		}
+		var ivs []epoch.Interval
+		for _, a := range e.Activity {
+			ivs = append(ivs, epoch.Interval{Start: sim.Time(a[0]), End: sim.Time(a[1])})
+		}
+		act := epoch.Normalize(ivs)
+		out = append(out, &TenantLog{Tenant: tn, Activity: act})
+	}
+	return out, in.Days, nil
+}

@@ -1,0 +1,59 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	lib := testLibrary(t)
+	tenants := testTenants(6)
+	cfg := DefaultComposeConfig(3)
+	cfg.Days = 7
+	logs, err := Compose(lib, tenants, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, logs, cfg.Days); err != nil {
+		t.Fatal(err)
+	}
+	got, days, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if days != 7 || len(got) != len(logs) {
+		t.Fatalf("days=%d len=%d", days, len(got))
+	}
+	for i := range logs {
+		a, b := logs[i], got[i]
+		if a.Tenant.ID != b.Tenant.ID || a.Tenant.Nodes != b.Tenant.Nodes ||
+			a.Tenant.Suite != b.Tenant.Suite || a.Tenant.DataGB != b.Tenant.DataGB {
+			t.Fatalf("tenant %d differs: %+v vs %+v", i, a.Tenant, b.Tenant)
+		}
+		if len(a.Activity) != len(b.Activity) {
+			t.Fatalf("tenant %d activity length differs", i)
+		}
+		for j := range a.Activity {
+			if a.Activity[j] != b.Activity[j] {
+				t.Fatalf("tenant %d interval %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestReadJSONErrors(t *testing.T) {
+	cases := []string{
+		"{",
+		`{"version":2,"days":7,"tenants":[]}`,
+		`{"version":1,"days":0,"tenants":[]}`,
+		`{"version":1,"days":7,"tenants":[{"id":"a","nodes":2,"data_gb":200,"suite":"NOPE","users":1}]}`,
+		`{"version":1,"days":7,"tenants":[{"id":"","nodes":2,"data_gb":200,"suite":"TPC-H","users":1}]}`,
+	}
+	for i, c := range cases {
+		if _, _, err := ReadJSON(strings.NewReader(c)); err == nil {
+			t.Errorf("bad input %d accepted", i)
+		}
+	}
+}

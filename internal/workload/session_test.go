@@ -1,0 +1,180 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/queries"
+	"repro/internal/sim"
+)
+
+func TestCollectSessionBasics(t *testing.T) {
+	cat := queries.Default()
+	rng := rand.New(rand.NewSource(11))
+	s, err := CollectSession(cat, 4, queries.TPCH, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 4 || s.Suite != queries.TPCH {
+		t.Errorf("log header: %+v", s)
+	}
+	if s.Users < 1 || s.Users > MaxUsers {
+		t.Errorf("users = %d", s.Users)
+	}
+	if len(s.Events) == 0 {
+		t.Fatal("no events collected in 3 hours")
+	}
+	horizon := sim.Duration(SessionLength)
+	prev := sim.Time(-1)
+	for i, ev := range s.Events {
+		if ev.Offset < prev {
+			t.Fatalf("event %d out of order: %v < %v", i, ev.Offset, prev)
+		}
+		prev = ev.Offset
+		if ev.Offset >= horizon+sim.Duration(PauseMaxSec)*sim.Second {
+			t.Errorf("event %d submitted at %v, far beyond the session", i, ev.Offset)
+		}
+		if ev.Duration <= 0 {
+			t.Errorf("event %d has duration %v", i, ev.Duration)
+		}
+		if _, ok := cat.ByID(ev.ClassID); !ok {
+			t.Errorf("event %d references unknown class %q", i, ev.ClassID)
+		}
+		if ev.User < 0 || ev.User >= s.Users {
+			t.Errorf("event %d by user %d of %d", i, ev.User, s.Users)
+		}
+	}
+	if !s.Activity.Valid() {
+		t.Error("activity not normalized")
+	}
+	if s.Activity.Total() <= 0 {
+		t.Error("no activity recorded")
+	}
+}
+
+func TestCollectSessionSuiteRespected(t *testing.T) {
+	cat := queries.Default()
+	s, err := CollectSession(cat, 2, queries.TPCDS, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ev := range s.Events {
+		cl, _ := cat.ByID(ev.ClassID)
+		if cl.Suite != queries.TPCDS {
+			t.Fatalf("TPC-DS session contains %s", ev.ClassID)
+		}
+	}
+}
+
+func TestCollectSessionDeterministic(t *testing.T) {
+	cat := queries.Default()
+	a, err := CollectSession(cat, 8, queries.TPCH, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CollectSession(cat, 8, queries.TPCH, rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Events) != len(b.Events) || a.Users != b.Users {
+		t.Fatalf("non-deterministic: %d/%d events, %d/%d users",
+			len(a.Events), len(b.Events), a.Users, b.Users)
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a.Events[i], b.Events[i])
+		}
+	}
+}
+
+func TestCollectSessionErrors(t *testing.T) {
+	cat := queries.Default()
+	if _, err := CollectSession(cat, 0, queries.TPCH, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("zero-node session accepted")
+	}
+	empty, _ := queries.NewCatalog(nil)
+	if _, err := CollectSession(empty, 2, queries.TPCH, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("empty catalog accepted")
+	}
+}
+
+func TestBatchesShareBatchID(t *testing.T) {
+	cat := queries.Default()
+	s, err := CollectSession(cat, 2, queries.TPCH, rand.New(rand.NewSource(17)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All members of one batch are submitted at the same instant.
+	byBatch := map[int][]SessionEvent{}
+	for _, ev := range s.Events {
+		byBatch[ev.Batch] = append(byBatch[ev.Batch], ev)
+	}
+	sawMulti := false
+	for b, evs := range byBatch {
+		if len(evs) > MaxBatch {
+			t.Errorf("batch %d has %d members (max %d)", b, len(evs), MaxBatch)
+		}
+		if len(evs) > 1 {
+			sawMulti = true
+			for _, ev := range evs {
+				if ev.Offset != evs[0].Offset || ev.User != evs[0].User {
+					t.Errorf("batch %d not a simultaneous single-user submission", b)
+				}
+			}
+		}
+	}
+	if !sawMulti {
+		t.Log("note: no multi-query batch in this seed (p=0.22); not a failure")
+	}
+}
+
+func TestBuildLibraryAndPick(t *testing.T) {
+	cat := queries.Default()
+	lib, err := BuildLibrary(cat, []int{2, 4}, 3, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lib.Sizes(); len(got) != 2 || got[0] != 2 || got[1] != 4 {
+		t.Errorf("Sizes = %v", got)
+	}
+	rng := rand.New(rand.NewSource(1))
+	s, err := lib.Pick(rng, 4, queries.TPCDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes != 4 || s.Suite != queries.TPCDS {
+		t.Errorf("picked wrong class: %d-node %v", s.Nodes, s.Suite)
+	}
+	if _, err := lib.Pick(rng, 16, queries.TPCH); err == nil {
+		t.Error("pick of missing class accepted")
+	}
+	if _, err := BuildLibrary(cat, []int{2}, 0, 1); err == nil {
+		t.Error("perClass=0 accepted")
+	}
+	if f := lib.MeanBusyFraction(); f <= 0 || f >= 1 {
+		t.Errorf("MeanBusyFraction = %v", f)
+	}
+	if (&Library{logs: map[libKey][]*SessionLog{}}).MeanBusyFraction() != 0 {
+		t.Error("empty library busy fraction not 0")
+	}
+}
+
+// TestSessionBusyCalibration pins the within-session activity level the
+// paper's consolidation numbers depend on: a tenant is instantaneously busy
+// only a few percent of its office-hour sessions (queries of seconds between
+// think times of minutes) — the regime in which ~16-tenant groups satisfy
+// R=3 / P=99.9% and the per-minute active tenant ratio reads ≈11.9%.
+func TestSessionBusyCalibration(t *testing.T) {
+	if testing.Short() {
+		t.Skip("calibration needs a sample of sessions")
+	}
+	cat := queries.Default()
+	lib, err := BuildLibrary(cat, []int{2, 8, 32}, 12, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := lib.MeanBusyFraction()
+	if f < 0.02 || f > 0.12 {
+		t.Errorf("mean session busy fraction = %.3f, want 0.02..0.12", f)
+	}
+}

@@ -1,0 +1,232 @@
+// Package thrifty is the public API of Thrifty, a reproduction of
+// "Parallel Analytics as a Service" (SIGMOD 2013): massively parallel
+// processing database-as-a-service (MPPDBaaS) with tenant consolidation.
+//
+// Thrifty consolidates thousands of MPPDB tenants onto a shared cluster
+// while guaranteeing, for P% of time, that each tenant's queries run as fast
+// as on its own dedicated machines. The pipeline is:
+//
+//  1. GenerateWorkload — build the §7.1 testbed: per-size-class session
+//     logs and composed multi-day tenant activity logs;
+//  2. PlanDeployment — run the Deployment Advisor: tenant grouping
+//     (the LIVBPwFC optimization), cluster design, and tenant placement;
+//  3. Deploy — execute the plan on a simulated cluster, producing live
+//     MPPDB instances with per-group query routers and activity monitors;
+//  4. Replay / Serve — drive the deployment with logged or interactive
+//     queries, optionally with lightweight elastic scaling armed.
+//
+// Everything is deterministic from the seeds in the configs. The underlying
+// packages (internal/...) expose the individual subsystems; this package
+// wires the common paths.
+package thrifty
+
+import (
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/advisor"
+	"repro/internal/cluster"
+	"repro/internal/master"
+	"repro/internal/queries"
+	"repro/internal/replay"
+	"repro/internal/scaling"
+	"repro/internal/service"
+	"repro/internal/sim"
+	"repro/internal/tenant"
+	"repro/internal/workload"
+)
+
+// WorkloadConfig parameterizes testbed generation (§7.1).
+type WorkloadConfig struct {
+	// Tenants is the population size T (paper default: 5000).
+	Tenants int
+	// Theta is the Zipf skew of tenant sizes (default 0.8).
+	Theta float64
+	// Sizes are the requestable node counts (default 2/4/8/16/32).
+	Sizes []int
+	// Days is the log horizon (default 30).
+	Days int
+	// SessionsPerClass sizes the step-1 library (default 100).
+	SessionsPerClass int
+	// Variant selects the Fig 7.6 high-activity modifications.
+	Variant workload.HighActivityVariant
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// DefaultWorkloadConfig returns the paper's Table 7.1 defaults.
+func DefaultWorkloadConfig(seed int64) WorkloadConfig {
+	return WorkloadConfig{
+		Tenants:          5000,
+		Theta:            0.8,
+		Sizes:            append([]int(nil), tenant.DefaultSizes...),
+		Days:             30,
+		SessionsPerClass: 100,
+		Seed:             seed,
+	}
+}
+
+// Workload is a generated multi-tenant testbed.
+type Workload struct {
+	Catalog *queries.Catalog
+	Library *workload.Library
+	Logs    []*workload.TenantLog
+	Horizon sim.Time
+}
+
+// Tenants returns the tenant index of the workload.
+func (w *Workload) Tenants() map[string]*tenant.Tenant {
+	out := make(map[string]*tenant.Tenant, len(w.Logs))
+	for _, tl := range w.Logs {
+		out[tl.Tenant.ID] = tl.Tenant
+	}
+	return out
+}
+
+// GenerateWorkload runs both steps of the paper's log generation.
+func GenerateWorkload(cfg WorkloadConfig) (*Workload, error) {
+	if cfg.Tenants < 1 {
+		return nil, fmt.Errorf("thrifty: %d tenants", cfg.Tenants)
+	}
+	if cfg.Theta == 0 {
+		cfg.Theta = 0.8
+	}
+	if len(cfg.Sizes) == 0 {
+		cfg.Sizes = append([]int(nil), tenant.DefaultSizes...)
+	}
+	if cfg.Days == 0 {
+		cfg.Days = 30
+	}
+	if cfg.SessionsPerClass == 0 {
+		cfg.SessionsPerClass = 100
+	}
+	cat := queries.Default()
+	lib, err := workload.BuildLibrary(cat, cfg.Sizes, cfg.SessionsPerClass, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	logs, err := workload.ComposeVariant(lib, cat, cfg.Tenants, cfg.Theta, cfg.Sizes,
+		cfg.Variant, cfg.Days, cfg.Seed+1)
+	if err != nil {
+		return nil, err
+	}
+	return &Workload{
+		Catalog: cat,
+		Library: lib,
+		Logs:    logs,
+		Horizon: sim.Time(cfg.Days) * sim.Day,
+	}, nil
+}
+
+// PlanConfig re-exports the Deployment Advisor configuration.
+type PlanConfig = advisor.Config
+
+// DefaultPlanConfig returns R=3, P=99.9%, E=10 s with the 2-step solver.
+func DefaultPlanConfig() PlanConfig { return advisor.DefaultConfig() }
+
+// Plan re-exports the deployment plan.
+type Plan = advisor.Plan
+
+// PlanDeployment computes cluster design and tenant placement for the
+// workload.
+func PlanDeployment(w *Workload, cfg PlanConfig) (*Plan, error) {
+	adv, err := advisor.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return adv.Plan(w.Logs, w.Horizon)
+}
+
+// ReconsolidationReport re-exports the advisor's cycle report.
+type ReconsolidationReport = advisor.ReconsolidationReport
+
+// Reconsolidate runs one (re)-consolidation cycle (§3c, §5.1): groups
+// untouched by churn keep their placement; members of flagged groups,
+// groups with departed tenants, and new tenants are re-grouped. The
+// workload w carries the *current* population and fresh history.
+func Reconsolidate(w *Workload, prev *Plan, cfg PlanConfig, flaggedGroups []string) (*Plan, *ReconsolidationReport, error) {
+	adv, err := advisor.New(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return adv.Reconsolidate(advisor.ReconsolidationInput{
+		Previous:      prev,
+		Logs:          w.Logs,
+		FlaggedGroups: flaggedGroups,
+	}, w.Horizon)
+}
+
+// System is a deployed MPPDBaaS: the engine, node pool, and live deployment.
+type System struct {
+	Engine     *sim.Engine
+	Pool       *cluster.Pool
+	Deployment *master.Deployment
+	Plan       *Plan
+	Workload   *Workload
+}
+
+// DeployOptions controls plan execution.
+type DeployOptions struct {
+	// SpareNodes is how many nodes beyond the plan the pool holds (for
+	// elastic scaling and node replacement).
+	SpareNodes int
+	// Immediate skips provisioning delays.
+	Immediate bool
+	// ParallelLoad enables the MPPDB parallel-loading option.
+	ParallelLoad bool
+	// MonitorWindow is the RT-TTP window (default 24 h).
+	MonitorWindow time.Duration
+}
+
+// Deploy brings the plan up on a fresh simulated cluster.
+func Deploy(w *Workload, plan *Plan, opts DeployOptions) (*System, error) {
+	if opts.MonitorWindow == 0 {
+		opts.MonitorWindow = 24 * time.Hour
+	}
+	eng := sim.NewEngine()
+	pool := cluster.NewPool(plan.NodesUsed() + opts.SpareNodes)
+	m := master.New(eng, pool, master.Options{
+		Immediate:     opts.Immediate,
+		ParallelLoad:  opts.ParallelLoad,
+		MonitorWindow: opts.MonitorWindow,
+	})
+	dep, err := m.Deploy(plan, w.Tenants())
+	if err != nil {
+		return nil, err
+	}
+	return &System{Engine: eng, Pool: pool, Deployment: dep, Plan: plan, Workload: w}, nil
+}
+
+// ReplayOptions re-exports the replay options.
+type ReplayOptions = replay.Options
+
+// TakeOver re-exports the §7.5 take-over injection spec.
+type TakeOver = replay.TakeOver
+
+// ReplayReport re-exports the replay report.
+type ReplayReport = replay.Report
+
+// ScalerConfig re-exports the elastic scaler configuration.
+type ScalerConfig = scaling.Config
+
+// DefaultScalerConfig returns the thesis' scaler settings for the given
+// guarantee and replication factor.
+func DefaultScalerConfig(p float64, r int) ScalerConfig { return scaling.DefaultConfig(p, r) }
+
+// Replay drives the system with its workload's logged queries.
+func (s *System) Replay(opts ReplayOptions) (*ReplayReport, error) {
+	return replay.Run(s.Engine, s.Deployment, s.Workload.Catalog, s.Workload.Logs, opts)
+}
+
+// ServeOptions configures the HTTP front end.
+type ServeOptions struct {
+	// TimeScale is virtual seconds per wall second (default 60).
+	TimeScale float64
+}
+
+// Handler returns the MPPDBaaS HTTP API over the system.
+func (s *System) Handler(opts ServeOptions) (http.Handler, error) {
+	return service.New(s.Engine, s.Deployment, s.Workload.Catalog, s.Plan,
+		service.Config{TimeScale: opts.TimeScale})
+}

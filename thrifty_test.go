@@ -1,0 +1,162 @@
+package thrifty
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// smallWorkload generates a fast testbed shared by the facade tests.
+func smallWorkload(t *testing.T) *Workload {
+	t.Helper()
+	w, err := GenerateWorkload(WorkloadConfig{
+		Tenants:          40,
+		Theta:            0.8,
+		Sizes:            []int{2, 4},
+		Days:             7,
+		SessionsPerClass: 4,
+		Seed:             5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestGenerateWorkloadDefaultsAndValidation(t *testing.T) {
+	if _, err := GenerateWorkload(WorkloadConfig{Tenants: 0}); err == nil {
+		t.Error("zero tenants accepted")
+	}
+	w := smallWorkload(t)
+	if len(w.Logs) != 40 {
+		t.Fatalf("%d logs", len(w.Logs))
+	}
+	if w.Horizon != 7*sim.Day {
+		t.Errorf("horizon = %v", w.Horizon)
+	}
+	if len(w.Tenants()) != 40 {
+		t.Error("tenant index wrong")
+	}
+}
+
+func TestEndToEndPipeline(t *testing.T) {
+	w := smallWorkload(t)
+	cfg := DefaultPlanConfig()
+	cfg.R = 2
+	plan, err := PlanDeployment(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) == 0 {
+		t.Fatal("no groups planned")
+	}
+	if plan.Effectiveness() <= 0 {
+		t.Errorf("effectiveness = %v", plan.Effectiveness())
+	}
+	sys, err := Deploy(w, plan, DeployOptions{Immediate: true, SpareNodes: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Deployment.NodesUsed() != plan.NodesUsed() {
+		t.Errorf("deployed %d nodes, plan %d", sys.Deployment.NodesUsed(), plan.NodesUsed())
+	}
+	rep, err := sys.Replay(ReplayOptions{From: 0, To: 2 * sim.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted == 0 || len(rep.Records) == 0 {
+		t.Fatalf("replay did nothing: %+v", rep)
+	}
+	if att := rep.SLAAttainment(); att < 0.95 {
+		t.Errorf("SLA attainment %v", att)
+	}
+}
+
+func TestSystemHandler(t *testing.T) {
+	w := smallWorkload(t)
+	plan, err := PlanDeployment(w, DefaultPlanConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := Deploy(w, plan, DeployOptions{Immediate: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := sys.Handler(ServeOptions{TimeScale: 120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+	resp, err := ts.Client().Get(ts.URL + "/v1/plan")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Effectiveness float64 `json:"effectiveness"`
+		Groups        []any   `json:"groups"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Groups) != len(plan.Groups) {
+		t.Errorf("plan endpoint groups = %d, want %d", len(out.Groups), len(plan.Groups))
+	}
+}
+
+func TestVariantWorkloads(t *testing.T) {
+	w, err := GenerateWorkload(WorkloadConfig{
+		Tenants:          30,
+		Sizes:            []int{2},
+		Days:             7,
+		SessionsPerClass: 3,
+		Variant:          workload.VariantSingleZoneNoLunch,
+		Seed:             9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tl := range w.Logs {
+		if tl.Tenant.ZoneOffsetHours != 0 {
+			t.Fatalf("single-zone variant placed tenant at %+d", tl.Tenant.ZoneOffsetHours)
+		}
+	}
+}
+
+func TestReconsolidateFacade(t *testing.T) {
+	w := smallWorkload(t)
+	cfg := DefaultPlanConfig()
+	prev, err := PlanDeployment(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No churn: everything kept.
+	next, rep, err := Reconsolidate(w, prev, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KeptGroups != len(prev.Groups) || rep.RepackedTenants != 0 {
+		t.Errorf("stable cycle churned: %+v", rep)
+	}
+	if next.NodesUsed() != prev.NodesUsed() {
+		t.Errorf("node usage drifted: %d vs %d", next.NodesUsed(), prev.NodesUsed())
+	}
+	// Flag one group: its members get repacked.
+	flagged := prev.Groups[0].ID
+	next2, rep2, err := Reconsolidate(w, prev, cfg, []string{flagged})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.RepackedTenants != len(prev.Groups[0].TenantIDs) {
+		t.Errorf("repacked %d, want %d", rep2.RepackedTenants, len(prev.Groups[0].TenantIDs))
+	}
+	for _, id := range prev.Groups[0].TenantIDs {
+		if _, ok := next2.Group(id); !ok {
+			t.Errorf("tenant %s lost in reconsolidation", id)
+		}
+	}
+}
