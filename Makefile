@@ -1,0 +1,21 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+# The full pre-commit gate: static checks, build, and the race-enabled suite.
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem

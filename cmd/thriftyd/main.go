@@ -1,23 +1,39 @@
 // Command thriftyd runs the Thrifty MPPDB-as-a-Service front end: it
 // generates a tenant population, plans and deploys the consolidated
 // cluster, and serves the HTTP API (query submission, plan and group
-// inspection, tenant registration).
+// inspection, tenant registration, observability).
 //
 // The execution substrate is the virtual-time MPPDB simulator, paced
 // against the wall clock (default 60 virtual seconds per wall second).
+//
+// Observability: unless -metrics=false, GET /metrics serves the telemetry
+// registry in Prometheus text format (routing decisions, in-flight queries,
+// per-MPPDB service/sojourn histograms, RT-TTP, SLA counters);
+// GET /v1/events streams the recent SLA-event log and GET /v1/slo the
+// per-tenant SLA attainment against P.
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: in-flight requests
+// (including long scrapes and event reads) get up to 10 s to complete
+// before the listener is torn down.
 //
 // Usage:
 //
 //	thriftyd -addr :8080 -tenants 200
 //	curl -s localhost:8080/v1/plan | jq .
 //	curl -s -XPOST localhost:8080/v1/queries -d '{"tenant":"T0000","query":"TPCH-Q1"}'
+//	curl -s localhost:8080/metrics | grep thrifty_
+//	curl -s localhost:8080/v1/slo | jq .
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	thrifty "repro"
@@ -32,6 +48,7 @@ func main() {
 		p         = flag.Float64("p", 0.999, "performance SLA guarantee P")
 		timeScale = flag.Float64("timescale", 60, "virtual seconds per wall second")
 		seed      = flag.Int64("seed", 1, "random seed")
+		metrics   = flag.Bool("metrics", true, "expose Prometheus text metrics at /metrics")
 	)
 	flag.Parse()
 
@@ -67,14 +84,36 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
-	h, err := sys.Handler(thrifty.ServeOptions{TimeScale: *timeScale})
+	h, err := sys.Handler(thrifty.ServeOptions{TimeScale: *timeScale, DisableMetrics: !*metrics})
 	if err != nil {
 		fatal("%v", err)
 	}
-	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×)\n", *addr, *timeScale)
-	if err := http.ListenAndServe(*addr, h); err != nil {
-		fatal("%v", err)
+
+	// Serve until SIGINT/SIGTERM, then drain in-flight requests so scrapes
+	// and event reads are never cut off mid-response.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: h}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v)\n",
+		*addr, *timeScale, *metrics)
+
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			fatal("%v", err)
+		}
+	case <-ctx.Done():
+		stop()
+		fmt.Fprintln(os.Stderr, "thriftyd: shutting down (draining in-flight requests)...")
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			fatal("shutdown: %v", err)
+		}
 	}
+	fmt.Fprintln(os.Stderr, "thriftyd: bye")
 }
 
 func fatal(format string, args ...any) {

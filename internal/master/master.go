@@ -19,6 +19,7 @@ import (
 	"repro/internal/router"
 	"repro/internal/scaling"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tenant"
 )
 
@@ -32,6 +33,9 @@ type Options struct {
 	ParallelLoad bool
 	// MonitorWindow is the RT-TTP window (default 24 h).
 	MonitorWindow time.Duration
+	// Telemetry overrides the deployment's telemetry hub. When nil, Deploy
+	// creates one over the engine's virtual clock with the plan's P.
+	Telemetry *telemetry.Hub
 }
 
 // DefaultOptions returns the thesis' run-time settings.
@@ -55,6 +59,7 @@ type Deployment struct {
 	groups []*DeployedGroup
 	byTen  map[string]*DeployedGroup
 	ready  map[string]sim.Time
+	tel    *telemetry.Hub
 }
 
 // Master executes deployment plans.
@@ -75,11 +80,16 @@ func New(eng *sim.Engine, pool *cluster.Pool, opts Options) *Master {
 // Deploy brings a plan up. tenants must contain every tenant referenced by
 // the plan's groups.
 func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (*Deployment, error) {
+	tel := m.opts.Telemetry
+	if tel == nil {
+		tel = telemetry.NewHub(m.eng, plan.Config.P)
+	}
 	dep := &Deployment{
 		eng:   m.eng,
 		pool:  m.pool,
 		byTen: make(map[string]*DeployedGroup),
 		ready: make(map[string]sim.Time),
+		tel:   tel,
 	}
 	for _, pg := range plan.Groups {
 		members := make([]*tenant.Tenant, 0, len(pg.TenantIDs))
@@ -104,6 +114,7 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 				return nil, fmt.Errorf("master: group %s: %w", pg.ID, err)
 			}
 			inst := mppdb.New(m.eng, id, nodes)
+			inst.SetTelemetry(tel)
 			for _, tn := range members {
 				inst.DeployTenant(tn.ID, tn.DataGB)
 			}
@@ -126,6 +137,8 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 		if err != nil {
 			return nil, err
 		}
+		mon.SetTelemetry(tel)
+		rt.SetTelemetry(tel)
 		g.Monitor = mon
 		g.Router = rt
 		dep.groups = append(dep.groups, g)
@@ -139,6 +152,9 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 
 // Groups returns the deployed tenant-groups.
 func (d *Deployment) Groups() []*DeployedGroup { return d.groups }
+
+// Telemetry returns the deployment's telemetry hub (never nil after Deploy).
+func (d *Deployment) Telemetry() *telemetry.Hub { return d.tel }
 
 // GroupFor returns the group hosting the tenant.
 func (d *Deployment) GroupFor(tenantID string) (*DeployedGroup, bool) {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/epoch"
 	"repro/internal/queries"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // QueryRecord is one completed query observation.
@@ -74,6 +75,13 @@ type GroupMonitor struct {
 	observedSince sim.Time
 
 	records []QueryRecord
+
+	// Telemetry (optional): per-query SLA accounting and the group's
+	// active-tenant gauge.
+	tel        *telemetry.Hub
+	mCompleted *telemetry.Counter
+	mMissed    *telemetry.Counter
+	mActive    *telemetry.Gauge
 }
 
 // NewGroup creates a monitor for one tenant-group with the given replication
@@ -101,6 +109,20 @@ func NewGroup(eng *sim.Engine, group string, r int, window time.Duration) (*Grou
 // Group returns the monitored group's identifier.
 func (m *GroupMonitor) Group() string { return m.group }
 
+// SetTelemetry attaches a telemetry hub: every completed query feeds the
+// per-tenant SLA account, misses are published as sla_violation events, and
+// the group's active-tenant count is kept as a gauge. A nil hub disables
+// instrumentation.
+func (m *GroupMonitor) SetTelemetry(h *telemetry.Hub) {
+	m.tel = h
+	if h == nil {
+		return
+	}
+	m.mCompleted = h.Registry.Counter("thrifty_queries_completed_total", "group", m.group)
+	m.mMissed = h.Registry.Counter("thrifty_queries_sla_missed_total", "group", m.group)
+	m.mActive = h.Registry.Gauge("thrifty_group_active_tenants", "group", m.group)
+}
+
 // ActiveTenants returns the number of currently active (non-excluded)
 // tenants — the strong notion of active: at least one query in flight.
 func (m *GroupMonitor) ActiveTenants() int { return len(m.inflight) }
@@ -116,6 +138,9 @@ func (m *GroupMonitor) Exclude(tenant string) {
 		delete(m.inflight, tenant)
 		m.tenantInactive(tenant)
 		m.recheckViolation()
+		if m.tel != nil {
+			m.mActive.Set(float64(len(m.inflight)))
+		}
 	}
 	m.excluded[tenant] = true
 }
@@ -132,12 +157,31 @@ func (m *GroupMonitor) QueryStarted(tenant string) {
 	if m.inflight[tenant] == 1 {
 		m.activeSince[tenant] = m.eng.Now()
 		m.recheckViolation()
+		if m.tel != nil {
+			m.mActive.Set(float64(len(m.inflight)))
+		}
 	}
 }
 
 // QueryFinished records a query completion and, optionally, the full record.
 func (m *GroupMonitor) QueryFinished(rec QueryRecord) {
 	m.records = append(m.records, rec)
+	if m.tel != nil {
+		met := rec.SLAMet()
+		m.mCompleted.Inc()
+		m.tel.SLA.Observe(rec.Tenant, rec.Normalized(), met)
+		if !met {
+			m.mMissed.Inc()
+			m.tel.Events.Publish(telemetry.Event{
+				Type:   telemetry.EventSLAViolation,
+				Group:  m.group,
+				Tenant: rec.Tenant,
+				MPPDB:  rec.MPPDB,
+				Value:  rec.Normalized(),
+				Detail: rec.Class.ID,
+			})
+		}
+	}
 	t := rec.Tenant
 	if m.excluded[t] {
 		return
@@ -150,6 +194,9 @@ func (m *GroupMonitor) QueryFinished(rec QueryRecord) {
 		delete(m.inflight, t)
 		m.tenantInactive(t)
 		m.recheckViolation()
+		if m.tel != nil {
+			m.mActive.Set(float64(len(m.inflight)))
+		}
 	}
 }
 

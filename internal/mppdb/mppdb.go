@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/queries"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 )
 
 // State is the lifecycle state of an MPPDB instance.
@@ -115,6 +116,14 @@ type Instance struct {
 	completion *sim.Event
 
 	failedNodes int
+
+	// Telemetry (optional): service/sojourn histograms and the live
+	// concurrency level, labelled by instance.
+	tel        *telemetry.Hub
+	mService   *telemetry.Histogram
+	mSojourn   *telemetry.Histogram
+	mRunning   *telemetry.Gauge
+	mCompleted *telemetry.Counter
 }
 
 // New creates an instance that is immediately Ready (provisioning timing is
@@ -133,6 +142,20 @@ func New(eng *sim.Engine, id string, nodes int) *Instance {
 		execs:    make(map[int64]*exec),
 		byTenant: make(map[string]int),
 	}
+}
+
+// SetTelemetry attaches a telemetry hub: per-query service-demand and
+// sojourn-time histograms plus the instance's concurrency level. A nil hub
+// disables instrumentation.
+func (m *Instance) SetTelemetry(h *telemetry.Hub) {
+	m.tel = h
+	if h == nil {
+		return
+	}
+	m.mService = h.Registry.Histogram("thrifty_mppdb_service_seconds", nil, "mppdb", m.id)
+	m.mSojourn = h.Registry.Histogram("thrifty_mppdb_sojourn_seconds", nil, "mppdb", m.id)
+	m.mRunning = h.Registry.Gauge("thrifty_mppdb_running", "mppdb", m.id)
+	m.mCompleted = h.Registry.Counter("thrifty_mppdb_completed_total", "mppdb", m.id)
 }
 
 // ID returns the instance identifier.
@@ -262,6 +285,10 @@ func (m *Instance) Submit(tenant string, class *queries.Class, done func(Result)
 	}
 	m.execs[ex.id] = ex
 	m.byTenant[tenant]++
+	if m.tel != nil {
+		m.mService.Observe(iso.Seconds())
+		m.mRunning.Set(float64(len(m.execs)))
+	}
 	conc := len(m.execs)
 	for _, other := range m.execs {
 		if conc > other.maxConc {
@@ -332,6 +359,11 @@ func (m *Instance) complete(id int64) {
 	m.byTenant[ex.tenant]--
 	if m.byTenant[ex.tenant] == 0 {
 		delete(m.byTenant, ex.tenant)
+	}
+	if m.tel != nil {
+		m.mSojourn.Observe((m.eng.Now() - ex.submit).Seconds())
+		m.mRunning.Set(float64(len(m.execs)))
+		m.mCompleted.Inc()
 	}
 	m.reschedule()
 	if ex.done != nil {

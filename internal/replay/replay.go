@@ -16,6 +16,7 @@ import (
 	"repro/internal/queries"
 	"repro/internal/scaling"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -173,6 +174,16 @@ func Run(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
 		if !ok {
 			return nil, fmt.Errorf("replay: take-over tenant %s not deployed", to.Tenant)
 		}
+		eng.Schedule(to.Start, func(sim.Time) {
+			if h := dep.Telemetry(); h != nil {
+				h.Events.Publish(telemetry.Event{
+					Type:   telemetry.EventTakeOver,
+					Group:  group.Plan.ID,
+					Tenant: to.Tenant,
+					Detail: fmt.Sprintf("continuous %s every %v", to.ClassID, to.Interval),
+				})
+			}
+		})
 		var hammer func(now sim.Time)
 		hammer = func(now sim.Time) {
 			if now >= opts.To {
@@ -215,25 +226,46 @@ func Run(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
 				ev.Err = err.Error()
 				return
 			}
+			if h := dep.Telemetry(); h != nil {
+				h.Events.Publish(telemetry.Event{
+					Type:   telemetry.EventNodeFailure,
+					Group:  f.Group,
+					MPPDB:  inst.ID(),
+					Value:  float64(inst.FailedNodes()),
+					Detail: "degraded; replacement node starting",
+				})
+			}
 			eng.After(cluster.StartupTime(1), func(now sim.Time) {
 				if err := inst.RepairNode(); err != nil {
 					ev.Err = err.Error()
 					return
 				}
 				ev.RepairedAt = now
+				if h := dep.Telemetry(); h != nil {
+					h.Events.Publish(telemetry.Event{
+						Type:  telemetry.EventNodeRepair,
+						Group: f.Group,
+						MPPDB: inst.ID(),
+					})
+				}
 			})
 		})
 	}
 
-	// Statistics sampling.
+	// Statistics sampling. Each sample also lands on the telemetry RT-TTP
+	// gauge, so a /metrics scrape sees the timeline the report sees.
 	var sample func(now sim.Time)
 	sample = func(now sim.Time) {
 		for _, g := range dep.Groups() {
+			rt := g.Monitor.RTTTP()
 			rep.Samples[g.Plan.ID] = append(rep.Samples[g.Plan.ID], Sample{
 				At:     now,
-				RTTTP:  g.Monitor.RTTTP(),
+				RTTTP:  rt,
 				Active: g.Monitor.ActiveTenants(),
 			})
+			if h := dep.Telemetry(); h != nil {
+				h.Registry.Gauge("thrifty_group_rt_ttp", "group", g.Plan.ID).Set(rt)
+			}
 		}
 		if now < opts.To {
 			eng.After(opts.SampleEvery, sample)
@@ -249,6 +281,7 @@ func Run(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
 		if err != nil {
 			return nil, err
 		}
+		scaler.SetTelemetry(dep.Telemetry())
 		for _, t := range dep.ScalerTargets() {
 			scaler.Watch(t)
 		}

@@ -13,6 +13,7 @@ import (
 	"repro/internal/queries"
 	"repro/internal/sim"
 	"repro/internal/tdd"
+	"repro/internal/telemetry"
 	"repro/internal/tenant"
 )
 
@@ -33,6 +34,14 @@ type GroupRouter struct {
 
 	routed   int64
 	overflow int64 // queries sent to a busy G₀ (Algorithm 1 line 10)
+
+	// Telemetry (optional): routing counters, the group's in-flight gauge,
+	// and one causally-linked trace per query (submit → route → execute →
+	// complete).
+	tel       *telemetry.Hub
+	mRouted   *telemetry.Counter
+	mOverflow *telemetry.Counter
+	mInflight *telemetry.Gauge
 }
 
 // NewGroup builds a router over the group's A MPPDB instances. dbs[0] is the
@@ -79,6 +88,17 @@ func (r *GroupRouter) HasTenant(id string) bool {
 
 // OnResult registers an observer for completed queries.
 func (r *GroupRouter) OnResult(fn func(monitor.QueryRecord)) { r.onResult = fn }
+
+// SetTelemetry attaches a telemetry hub. A nil hub disables instrumentation.
+func (r *GroupRouter) SetTelemetry(h *telemetry.Hub) {
+	r.tel = h
+	if h == nil {
+		return
+	}
+	r.mRouted = h.Registry.Counter("thrifty_router_routed_total", "group", r.group)
+	r.mOverflow = h.Registry.Counter("thrifty_router_overflow_total", "group", r.group)
+	r.mInflight = h.Registry.Gauge("thrifty_router_inflight", "group", r.group)
+}
 
 // SetOverride directs all future queries of the tenant to a dedicated MPPDB
 // (the §5.1 elastic-scaling outcome: "Thrifty routed all the queries to the
@@ -144,15 +164,38 @@ func (r *GroupRouter) SubmitWithTarget(tenantID string, class *queries.Class, sl
 	if !ok {
 		return "", fmt.Errorf("router: unknown tenant %s in group %s", tenantID, r.group)
 	}
+	// One trace per query: a root span spanning submit → complete, with a
+	// route child (the Algorithm 1 decision) and an execute child (time on
+	// the chosen MPPDB). Under processor sharing there is no queueing
+	// phase: a query starts executing the instant it is routed.
+	var root, route, exec *telemetry.Span
+	if r.tel != nil {
+		root = r.tel.Tracer.StartSpan("query",
+			"group", r.group, "tenant", tenantID, "class", class.ID)
+		route = r.tel.Tracer.StartChild(root.Context(), "route")
+	}
+	fail := func(err error) (string, error) {
+		if root != nil {
+			route.Annotate("error", err.Error())
+			route.End()
+			root.End()
+		}
+		return "", err
+	}
 	target, err := r.pick(tenantID)
 	if err != nil {
-		return "", err
+		return fail(err)
 	}
 	if slaTarget <= 0 {
 		slaTarget = sim.Duration(class.Latency(tn.DataGB, tn.Nodes))
 	}
 	submit := r.eng.Now()
 	dbID := target.ID()
+	if root != nil {
+		route.Annotate("mppdb", dbID)
+		route.End()
+		exec = r.tel.Tracer.StartChild(root.Context(), "execute", "mppdb", dbID)
+	}
 	_, err = target.Submit(tenantID, class, func(res mppdb.Result) {
 		rec := monitor.QueryRecord{
 			Tenant:    tenantID,
@@ -162,6 +205,11 @@ func (r *GroupRouter) SubmitWithTarget(tenantID string, class *queries.Class, sl
 			SLATarget: slaTarget,
 			MPPDB:     dbID,
 		}
+		if r.tel != nil {
+			exec.End()
+			root.End()
+			r.mInflight.Add(-1)
+		}
 		if r.mon != nil {
 			r.mon.QueryFinished(rec)
 		}
@@ -170,6 +218,11 @@ func (r *GroupRouter) SubmitWithTarget(tenantID string, class *queries.Class, sl
 		}
 	})
 	if err != nil {
+		if exec != nil {
+			exec.Annotate("error", err.Error())
+			exec.End()
+			root.End()
+		}
 		return "", err
 	}
 	// The completion callback fires via a later engine event, never
@@ -178,6 +231,10 @@ func (r *GroupRouter) SubmitWithTarget(tenantID string, class *queries.Class, sl
 		r.mon.QueryStarted(tenantID)
 	}
 	r.routed++
+	if r.tel != nil {
+		r.mRouted.Inc()
+		r.mInflight.Add(1)
+	}
 	return dbID, nil
 }
 
@@ -209,6 +266,9 @@ func (r *GroupRouter) pick(tenantID string) (*mppdb.Instance, error) {
 	chosen := ready[idx]
 	if chosen.Busy() && chosen.TenantRunning(tenantID) == 0 {
 		r.overflow++
+		if r.tel != nil {
+			r.mOverflow.Inc()
+		}
 	}
 	return chosen, nil
 }

@@ -22,6 +22,7 @@ import (
 	"repro/internal/mppdb"
 	"repro/internal/router"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tenant"
 )
 
@@ -94,6 +95,13 @@ type Scaler struct {
 	events   []Event
 	nextID   int
 	started  bool
+
+	// Telemetry (optional): RT-TTP gauges sampled at every check, dip events
+	// on the below-P transition, and the scaling-phase event timeline.
+	tel      *telemetry.Hub
+	belowP   map[string]bool
+	mActions *telemetry.Counter
+	mActive  *telemetry.Gauge
 }
 
 // New creates a scaler over the shared node pool.
@@ -115,6 +123,17 @@ func New(eng *sim.Engine, pool *cluster.Pool, cfg Config) (*Scaler, error) {
 		disabled: make(map[string]bool),
 		reconsol: make(map[string]bool),
 	}, nil
+}
+
+// SetTelemetry attaches a telemetry hub. A nil hub disables instrumentation.
+func (s *Scaler) SetTelemetry(h *telemetry.Hub) {
+	s.tel = h
+	if h == nil {
+		return
+	}
+	s.belowP = make(map[string]bool)
+	s.mActions = h.Registry.Counter("thrifty_scaling_actions_total")
+	s.mActive = h.Registry.Gauge("thrifty_scaling_in_progress")
 }
 
 // Watch adds a tenant-group to the scaler.
@@ -159,10 +178,24 @@ func (s *Scaler) Start() {
 func (s *Scaler) check() {
 	for _, t := range s.targets {
 		g := t.Router.Group()
+		rt := t.Monitor.RTTTP()
+		if s.tel != nil {
+			s.tel.Registry.Gauge("thrifty_group_rt_ttp", "group", g).Set(rt)
+			// Publish the dip once per crossing, not on every low sample.
+			below := rt < s.cfg.P
+			if below && !s.belowP[g] {
+				s.tel.Events.Publish(telemetry.Event{
+					Type:   telemetry.EventRTTTPDip,
+					Group:  g,
+					Value:  rt,
+					Detail: fmt.Sprintf("RT-TTP below P=%v", s.cfg.P),
+				})
+			}
+			s.belowP[g] = below
+		}
 		if s.scaling[g] || s.disabled[g] {
 			continue
 		}
-		rt := t.Monitor.RTTTP()
 		if rt >= s.cfg.P {
 			continue
 		}
@@ -234,6 +267,7 @@ func (s *Scaler) scaleUp(t *Target, rtttp float64) {
 	if err != nil {
 		ev.Err = err.Error()
 		s.events = append(s.events, ev)
+		s.publishFailure(g, err.Error())
 		return
 	}
 	if len(over) == 0 {
@@ -255,10 +289,23 @@ func (s *Scaler) scaleUp(t *Target, rtttp float64) {
 	if _, err := s.pool.Acquire(id, nodes); err != nil {
 		ev.Err = err.Error()
 		s.events = append(s.events, ev)
+		s.publishFailure(g, err.Error())
 		return
 	}
 	s.scaling[g] = true
+	if s.tel != nil {
+		s.mActions.Inc()
+		s.mActive.Add(1)
+		s.tel.Events.Publish(telemetry.Event{
+			Type:   telemetry.EventScalingTriggered,
+			Group:  g,
+			MPPDB:  id,
+			Value:  rtttp,
+			Detail: fmt.Sprintf("over-active %v → %d-node MPPDB", ev.OverActive, nodes),
+		})
+	}
 	inst := mppdb.New(s.eng, id, nodes)
+	inst.SetTelemetry(s.tel)
 	inst.SetState(mppdb.Provisioning)
 	for _, m := range over {
 		inst.DeployTenant(m.ID, m.DataGB)
@@ -279,5 +326,27 @@ func (s *Scaler) scaleUp(t *Target, rtttp float64) {
 		s.events[evIdx].Ready = now
 		s.scaling[g] = false
 		s.reconsol[g] = true
+		if s.tel != nil {
+			s.mActive.Add(-1)
+			s.tel.Events.Publish(telemetry.Event{
+				Type:   telemetry.EventScalingReady,
+				Group:  g,
+				MPPDB:  id,
+				Value:  float64(nodes),
+				Detail: fmt.Sprintf("queries of %v re-pointed", s.events[evIdx].OverActive),
+			})
+		}
+	})
+}
+
+// publishFailure emits a scaling_failed event when telemetry is attached.
+func (s *Scaler) publishFailure(group, detail string) {
+	if s.tel == nil {
+		return
+	}
+	s.tel.Events.Publish(telemetry.Event{
+		Type:   telemetry.EventScalingFailed,
+		Group:  group,
+		Detail: detail,
 	})
 }

@@ -1,7 +1,10 @@
 // Package service exposes a Thrifty deployment as an MPPDB-as-a-Service
 // HTTP front end: tenants submit queries (which the Query Router places per
 // Algorithm 1), operators inspect the deployment plan, per-group run-time
-// statistics, completed query records, and scaling events.
+// statistics, completed query records, and scaling events. The deployment's
+// telemetry hub is exposed too: GET /metrics (Prometheus text),
+// GET /v1/events (recent SLA events), and GET /v1/slo (per-tenant SLA
+// attainment against the guarantee P).
 //
 // The execution substrate is the virtual-time simulator; the service paces
 // it against the wall clock with a configurable time-scale factor (virtual
@@ -15,6 +18,7 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -59,6 +63,9 @@ type Config struct {
 	// TimeScale is virtual seconds advanced per wall-clock second
 	// (default 60).
 	TimeScale float64
+	// DisableMetrics removes the Prometheus GET /metrics endpoint (the
+	// observability JSON endpoints under /v1 stay).
+	DisableMetrics bool
 }
 
 // New builds a server over a live deployment.
@@ -94,6 +101,11 @@ func New(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
 	s.mux.HandleFunc("POST /v1/tenants", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/tenants/pending", s.handlePending)
 	s.mux.HandleFunc("GET /v1/invoices", s.handleInvoices)
+	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
+	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	if !cfg.DisableMetrics {
+		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	}
 	return s, nil
 }
 
@@ -402,6 +414,85 @@ func (s *Server) Records() []monitor.QueryRecord {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.dep.Records()
+}
+
+// handleMetrics serves the deployment's metrics registry in the Prometheus
+// text exposition format. Virtual time is advanced first so a scrape
+// reflects everything that should have happened by now.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.advance()
+	s.mu.Unlock()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.dep.Telemetry().Registry.WritePrometheus(w)
+}
+
+// handleEvents returns the most recent SLA events, oldest first. ?n= bounds
+// the count (default 100).
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 1 {
+			writeErr(w, http.StatusBadRequest, "bad n %q", q)
+			return
+		}
+		n = v
+	}
+	s.mu.Lock()
+	s.advance()
+	s.mu.Unlock()
+	type eventJSON struct {
+		Seq    uint64  `json:"seq"`
+		At     string  `json:"at"`
+		Type   string  `json:"type"`
+		Group  string  `json:"group,omitempty"`
+		Tenant string  `json:"tenant,omitempty"`
+		MPPDB  string  `json:"mppdb,omitempty"`
+		Value  float64 `json:"value,omitempty"`
+		Detail string  `json:"detail,omitempty"`
+	}
+	events := s.dep.Telemetry().Events.Recent(n)
+	out := make([]eventJSON, 0, len(events))
+	for _, ev := range events {
+		out = append(out, eventJSON{
+			Seq: ev.Seq, At: ev.At.String(), Type: string(ev.Type),
+			Group: ev.Group, Tenant: ev.Tenant, MPPDB: ev.MPPDB,
+			Value: ev.Value, Detail: ev.Detail,
+		})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleSLO reports per-tenant SLA attainment against the service guarantee
+// P — the externally visible form of the SLA the paper sells.
+func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	s.advance()
+	s.mu.Unlock()
+	hub := s.dep.Telemetry()
+	type tenantJSON struct {
+		Tenant          string  `json:"tenant"`
+		Met             int64   `json:"met"`
+		Missed          int64   `json:"missed"`
+		Attainment      float64 `json:"attainment"`
+		WorstNormalized float64 `json:"worst_normalized"`
+		OK              bool    `json:"ok"`
+	}
+	rep := hub.SLA.Report()
+	tenants := make([]tenantJSON, 0, len(rep))
+	for _, t := range rep {
+		tenants = append(tenants, tenantJSON{
+			Tenant: t.Tenant, Met: t.Met, Missed: t.Missed,
+			Attainment: t.Attainment, WorstNormalized: t.WorstNormalized,
+			OK: t.OK,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"p":                  hub.SLA.P(),
+		"overall_attainment": hub.SLA.Overall(),
+		"tenants":            tenants,
+	})
 }
 
 // handleInvoices bills the metering period from the deployment's completed

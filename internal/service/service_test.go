@@ -3,9 +3,12 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -15,6 +18,7 @@ import (
 	"repro/internal/master"
 	"repro/internal/queries"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tenant"
 	"repro/internal/workload"
 )
@@ -314,5 +318,217 @@ func TestInvoicesEndpoint(t *testing.T) {
 	}
 	if !active || !idle {
 		t.Errorf("usage metering wrong: %+v", out)
+	}
+}
+
+func TestInvoicesBeforeAnyTime(t *testing.T) {
+	_, ts, _ := testServer(t)
+	// Virtual time is still 0: there is nothing to meter yet.
+	var out map[string]any
+	if code := get(t, ts, "/v1/invoices", &out); code != http.StatusUnprocessableEntity {
+		t.Fatalf("status %d, want 422", code)
+	}
+	if out["error"] != "no metered time yet" {
+		t.Errorf("error = %v", out["error"])
+	}
+}
+
+// promLine matches a Prometheus text-format sample:
+//
+//	name{label="v",...} value
+var promLine = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="[^"]*"(,[a-zA-Z_][a-zA-Z0-9_]*="[^"]*")*\})? (NaN|[-+0-9.eE]+|\+Inf)$`)
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts, tick := testServer(t)
+	post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", Query: "TPCH-Q6"}, nil)
+	tick(time.Minute)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Errorf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"thrifty_router_routed_total",
+		"thrifty_queries_completed_total",
+		"thrifty_mppdb_sojourn_seconds_bucket",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %s", want)
+		}
+	}
+	// Every non-comment line must be a well-formed sample.
+	for _, line := range strings.Split(strings.TrimRight(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if !promLine.MatchString(line) {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+func TestMetricsDisabled(t *testing.T) {
+	srv, _, _ := testServer(t)
+	srv2, err := New(srv.eng, srv.dep, srv.cat, srv.plan, Config{TimeScale: 60, DisableMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv2)
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("disabled metrics status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestEventsEndpoint(t *testing.T) {
+	srv, ts, _ := testServer(t)
+	// Seed the stream directly; replay-driven event content is covered by the
+	// integration tests at the repo root.
+	hub := srv.dep.Telemetry()
+	for i := 0; i < 5; i++ {
+		hub.Events.Publish(telemetry.Event{Type: telemetry.EventScalingTriggered, Group: "TG-0000"})
+	}
+	var out []struct {
+		Seq   uint64 `json:"seq"`
+		At    string `json:"at"`
+		Type  string `json:"type"`
+		Group string `json:"group"`
+	}
+	if code := get(t, ts, "/v1/events", &out); code != 200 {
+		t.Fatalf("events status %d", code)
+	}
+	if len(out) != 5 {
+		t.Fatalf("%d events, want 5", len(out))
+	}
+	if out[0].Seq != 1 || out[0].Type != "scaling_triggered" || out[0].Group != "TG-0000" || out[0].At == "" {
+		t.Errorf("event = %+v", out[0])
+	}
+	// ?n= caps the count, keeping the most recent.
+	if code := get(t, ts, "/v1/events?n=2", &out); code != 200 || len(out) != 2 {
+		t.Fatalf("n=2: status/len = %d/%d", code, len(out))
+	}
+	if out[1].Seq != 5 {
+		t.Errorf("last seq = %d, want 5", out[1].Seq)
+	}
+	for _, bad := range []string{"x", "0", "-3"} {
+		if code := get(t, ts, "/v1/events?n="+bad, nil); code != http.StatusBadRequest {
+			t.Errorf("n=%s status %d, want 400", bad, code)
+		}
+	}
+}
+
+func TestSLOEndpoint(t *testing.T) {
+	_, ts, tick := testServer(t)
+	// All four tenants fire the heaviest query at the same instant; under
+	// processor sharing the 2-node MPPDBs slow down enough to breach targets.
+	for _, tn := range []string{"t1", "t2", "t3", "t4"} {
+		for i := 0; i < 3; i++ {
+			if code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: tn, Query: "TPCH-Q9"}, nil); code != http.StatusAccepted {
+				t.Fatalf("submit %s status %d", tn, code)
+			}
+		}
+	}
+	tick(time.Hour)
+	var out struct {
+		P       float64 `json:"p"`
+		Overall float64 `json:"overall_attainment"`
+		Tenants []struct {
+			Tenant     string  `json:"tenant"`
+			Met        int64   `json:"met"`
+			Missed     int64   `json:"missed"`
+			Attainment float64 `json:"attainment"`
+			OK         bool    `json:"ok"`
+		} `json:"tenants"`
+	}
+	if code := get(t, ts, "/v1/slo", &out); code != 200 {
+		t.Fatalf("slo status %d", code)
+	}
+	if out.P != 0.999 {
+		t.Errorf("p = %v", out.P)
+	}
+	if len(out.Tenants) == 0 {
+		t.Fatal("no tenants in slo report")
+	}
+	var total, missed int64
+	for _, tn := range out.Tenants {
+		total += tn.Met + tn.Missed
+		missed += tn.Missed
+		if got := float64(tn.Met) / float64(tn.Met+tn.Missed); got != tn.Attainment {
+			t.Errorf("%s attainment %v, want %v", tn.Tenant, tn.Attainment, got)
+		}
+	}
+	if total != 12 {
+		t.Errorf("slo accounts %d queries, want 12", total)
+	}
+	if missed == 0 {
+		t.Error("expected contention to breach some SLAs")
+	}
+	if out.Overall != float64(total-missed)/float64(total) {
+		t.Errorf("overall = %v", out.Overall)
+	}
+}
+
+// TestConcurrentSubmitsAndScrapes hammers the API from many goroutines while
+// scrapes and SLO reads run — the service-level companion to the registry
+// race test (run with -race).
+func TestConcurrentSubmitsAndScrapes(t *testing.T) {
+	_, ts, tick := testServer(t)
+	tenants := []string{"t1", "t2", "t3", "t4"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				var out map[string]any
+				code := post(t, ts, "/v1/queries",
+					SubmitRequest{Tenant: tenants[(g+i)%len(tenants)], Query: "TPCH-Q6"}, &out)
+				if code != http.StatusAccepted {
+					t.Errorf("submit status %d: %v", code, out)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				resp, err := http.Get(ts.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if code := get(t, ts, "/v1/slo", nil); code != 200 {
+					t.Errorf("slo status %d", code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tick(time.Minute)
+	var recs []map[string]any
+	get(t, ts, "/v1/records", &recs)
+	if len(recs) != 80 {
+		t.Errorf("%d records, want 80", len(recs))
 	}
 }

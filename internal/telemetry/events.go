@@ -1,0 +1,190 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// EventType classifies SLA-relevant occurrences.
+type EventType string
+
+const (
+	// EventSLAViolation: a completed query exceeded its latency SLA target.
+	EventSLAViolation EventType = "sla_violation"
+	// EventRTTTPDip: a group's run-time TTP crossed below the guarantee P.
+	EventRTTTPDip EventType = "rt_ttp_dip"
+	// EventScalingTriggered: the elastic scaler decided to carve out
+	// over-active tenants onto a dedicated MPPDB.
+	EventScalingTriggered EventType = "scaling_triggered"
+	// EventScalingReady: the dedicated MPPDB finished loading and queries
+	// were re-pointed.
+	EventScalingReady EventType = "scaling_ready"
+	// EventScalingFailed: a scaling action could not complete (e.g. node
+	// pool exhausted).
+	EventScalingFailed EventType = "scaling_failed"
+	// EventTakeOver: a tenant began continuous query submission (§7.5).
+	EventTakeOver EventType = "take_over"
+	// EventNodeFailure: an MPPDB lost a node and runs degraded.
+	EventNodeFailure EventType = "node_failure"
+	// EventNodeRepair: the replacement node restored full speed.
+	EventNodeRepair EventType = "node_repair"
+)
+
+// Event is one occurrence on the SLA timeline.
+type Event struct {
+	// Seq is the log-assigned monotonic sequence number.
+	Seq uint64
+	// At is the clock time the event was published.
+	At sim.Time
+	// Type classifies the event.
+	Type EventType
+	// Group, Tenant, and MPPDB locate the event; empty when not applicable.
+	Group  string
+	Tenant string
+	MPPDB  string
+	// Value carries the type's headline number (normalized latency for a
+	// violation, RT-TTP for a dip or trigger, node count for scaling).
+	Value float64
+	// Detail is a short human-readable elaboration.
+	Detail string
+}
+
+// String renders the event as one deterministic log line.
+func (e Event) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "#%d %v %s", e.Seq, e.At, e.Type)
+	if e.Group != "" {
+		fmt.Fprintf(&b, " group=%s", e.Group)
+	}
+	if e.Tenant != "" {
+		fmt.Fprintf(&b, " tenant=%s", e.Tenant)
+	}
+	if e.MPPDB != "" {
+		fmt.Fprintf(&b, " mppdb=%s", e.MPPDB)
+	}
+	if e.Value != 0 {
+		fmt.Fprintf(&b, " value=%s", formatFloat(e.Value))
+	}
+	if e.Detail != "" {
+		fmt.Fprintf(&b, " %s", e.Detail)
+	}
+	return b.String()
+}
+
+// EventLog is a bounded ring of events with optional live subscribers.
+// Publishing never blocks: a subscriber that falls behind loses events (its
+// drop count is tracked) rather than stalling the simulation or a request.
+type EventLog struct {
+	mu      sync.Mutex
+	clock   Clock
+	ring    []Event
+	start   int
+	n       int
+	nextSeq uint64
+	subs    map[int]*subscriber
+	nextSub int
+}
+
+type subscriber struct {
+	ch      chan Event
+	dropped uint64
+}
+
+// NewEventLog builds a log retaining up to capacity recent events.
+func NewEventLog(clock Clock, capacity int) *EventLog {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventLog{
+		clock: clock,
+		ring:  make([]Event, capacity),
+		subs:  make(map[int]*subscriber),
+	}
+}
+
+// Publish stamps the event with the next sequence number and the clock's
+// current time, appends it to the ring, and fans it out to subscribers.
+// The stamped event is returned.
+func (l *EventLog) Publish(ev Event) Event {
+	l.mu.Lock()
+	l.nextSeq++
+	ev.Seq = l.nextSeq
+	ev.At = l.clock.Now()
+	if l.n == len(l.ring) {
+		l.ring[l.start] = ev
+		l.start = (l.start + 1) % len(l.ring)
+	} else {
+		l.ring[(l.start+l.n)%len(l.ring)] = ev
+		l.n++
+	}
+	for _, s := range l.subs {
+		select {
+		case s.ch <- ev:
+		default:
+			s.dropped++
+		}
+	}
+	l.mu.Unlock()
+	return ev
+}
+
+// Recent returns up to n of the most recent events, oldest first. n <= 0
+// returns everything retained.
+func (l *EventLog) Recent(n int) []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n <= 0 || n > l.n {
+		n = l.n
+	}
+	out := make([]Event, 0, n)
+	for i := l.n - n; i < l.n; i++ {
+		out = append(out, l.ring[(l.start+i)%len(l.ring)])
+	}
+	return out
+}
+
+// Total returns how many events have ever been published.
+func (l *EventLog) Total() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.nextSeq
+}
+
+// Subscribe registers a live consumer with the given channel buffer and
+// returns the channel plus a cancel function. After cancel the channel is
+// closed and no further events arrive on it.
+func (l *EventLog) Subscribe(buffer int) (<-chan Event, func()) {
+	if buffer < 1 {
+		buffer = 1
+	}
+	l.mu.Lock()
+	id := l.nextSub
+	l.nextSub++
+	s := &subscriber{ch: make(chan Event, buffer)}
+	l.subs[id] = s
+	l.mu.Unlock()
+	cancel := func() {
+		l.mu.Lock()
+		if _, ok := l.subs[id]; ok {
+			delete(l.subs, id)
+			close(s.ch)
+		}
+		l.mu.Unlock()
+	}
+	return s.ch, cancel
+}
+
+// Dump writes every retained event as one line, oldest first — the
+// deterministic counterpart of a live subscription.
+func (l *EventLog) Dump(w io.Writer) error {
+	for _, ev := range l.Recent(0) {
+		if _, err := fmt.Fprintln(w, ev.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,347 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric or span dimension (e.g. group="TG-0000").
+type Label struct {
+	Key, Value string
+}
+
+// Counter is a monotonically increasing metric. The zero value is usable,
+// but counters normally come from Registry.Counter so they are exported.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add increases the counter by n (negative n panics: counters only go up).
+func (c *Counter) Add(n int64) {
+	if n < 0 {
+		panic("telemetry: counter decremented")
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can go up and down, stored as a float64.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add shifts the gauge by d.
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + d)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-boundary distribution. Boundaries are upper bounds in
+// ascending order; an implicit +Inf bucket catches the overflow.
+type Histogram struct {
+	bounds  []float64
+	buckets []atomic.Int64 // len(bounds)+1, non-cumulative
+	count   atomic.Int64
+	sumBits atomic.Uint64
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// DefaultLatencyBoundaries covers analytical-query latencies from 100 ms to
+// ~2 h, roughly logarithmic (seconds).
+var DefaultLatencyBoundaries = []float64{
+	0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 7200,
+}
+
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	default:
+		return "histogram"
+	}
+}
+
+// metric is one registered series: a name, a sorted label set, and exactly
+// one of the three instruments.
+type metric struct {
+	name   string
+	labels []Label
+	kind   metricKind
+	c      *Counter
+	g      *Gauge
+	h      *Histogram
+}
+
+// Registry holds named metrics. Get-or-create is serialized; the returned
+// instruments update lock-free, so hot paths pay one map lookup plus an
+// atomic op. Registration with the same name and labels returns the same
+// instrument; re-registering a name under a different kind panics (it is a
+// programming error, like registering two flags with one name).
+type Registry struct {
+	mu      sync.RWMutex
+	metrics map[string]*metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{metrics: make(map[string]*metric)}
+}
+
+// pairs converts variadic "k1, v1, k2, v2" strings into a sorted label set.
+func pairs(kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd label list %q", kv))
+	}
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// seriesKey is the registry map key: name plus the canonical label encoding.
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// lookup returns the series, creating it with mk when absent.
+func (r *Registry) lookup(name string, labels []Label, kind metricKind, mk func(*metric)) *metric {
+	key := seriesKey(name, labels)
+	r.mu.RLock()
+	m := r.metrics[key]
+	r.mu.RUnlock()
+	if m == nil {
+		r.mu.Lock()
+		if m = r.metrics[key]; m == nil {
+			m = &metric{name: name, labels: labels, kind: kind}
+			mk(m)
+			r.metrics[key] = m
+		}
+		r.mu.Unlock()
+	}
+	if m.kind != kind {
+		panic(fmt.Sprintf("telemetry: %s registered as %v, requested as %v", key, m.kind, kind))
+	}
+	return m
+}
+
+// Counter returns the counter series, creating it if needed. kv is a flat
+// key, value, key, value... label list.
+func (r *Registry) Counter(name string, kv ...string) *Counter {
+	return r.lookup(name, pairs(kv), kindCounter, func(m *metric) { m.c = &Counter{} }).c
+}
+
+// Gauge returns the gauge series, creating it if needed.
+func (r *Registry) Gauge(name string, kv ...string) *Gauge {
+	return r.lookup(name, pairs(kv), kindGauge, func(m *metric) { m.g = &Gauge{} }).g
+}
+
+// Histogram returns the histogram series, creating it if needed. bounds is
+// only consulted on first creation; nil uses DefaultLatencyBoundaries.
+func (r *Registry) Histogram(name string, bounds []float64, kv ...string) *Histogram {
+	return r.lookup(name, pairs(kv), kindHistogram, func(m *metric) {
+		if bounds == nil {
+			bounds = DefaultLatencyBoundaries
+		}
+		for i := 1; i < len(bounds); i++ {
+			if bounds[i] <= bounds[i-1] {
+				panic(fmt.Sprintf("telemetry: histogram %s boundaries not ascending: %v", name, bounds))
+			}
+		}
+		m.h = &Histogram{
+			bounds:  append([]float64(nil), bounds...),
+			buckets: make([]atomic.Int64, len(bounds)+1),
+		}
+	}).h
+}
+
+// MetricValue is one series in a snapshot.
+type MetricValue struct {
+	Name   string
+	Labels []Label
+	Kind   string
+	// Value holds the counter or gauge reading.
+	Value float64
+	// Histogram readings (Kind == "histogram" only). Buckets are
+	// non-cumulative and aligned with Bounds; the final extra entry is the
+	// +Inf overflow.
+	Bounds  []float64
+	Buckets []int64
+	Count   int64
+	Sum     float64
+}
+
+// Snapshot returns a consistent-enough point-in-time view of every series,
+// totally ordered by (name, labels) so encodings are deterministic.
+// Individual readings are atomic; the set as a whole is not a transaction —
+// the usual scrape semantics.
+func (r *Registry) Snapshot() []MetricValue {
+	r.mu.RLock()
+	keys := make([]string, 0, len(r.metrics))
+	for k := range r.metrics {
+		keys = append(keys, k)
+	}
+	ms := make([]*metric, 0, len(keys))
+	sort.Strings(keys)
+	for _, k := range keys {
+		ms = append(ms, r.metrics[k])
+	}
+	r.mu.RUnlock()
+
+	out := make([]MetricValue, 0, len(ms))
+	for _, m := range ms {
+		mv := MetricValue{Name: m.name, Labels: m.labels, Kind: m.kind.String()}
+		switch m.kind {
+		case kindCounter:
+			mv.Value = float64(m.c.Value())
+		case kindGauge:
+			mv.Value = m.g.Value()
+		case kindHistogram:
+			mv.Bounds = m.h.bounds
+			mv.Buckets = make([]int64, len(m.h.buckets))
+			for i := range m.h.buckets {
+				mv.Buckets[i] = m.h.buckets[i].Load()
+			}
+			mv.Count = m.h.Count()
+			mv.Sum = m.h.Sum()
+		}
+		out = append(out, mv)
+	}
+	return out
+}
+
+// WritePrometheus encodes the snapshot in the Prometheus text exposition
+// format (version 0.0.4). Series are grouped under one # TYPE line per
+// metric name, in sorted order.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	snap := r.Snapshot()
+	lastName := ""
+	for _, mv := range snap {
+		if mv.Name != lastName {
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", mv.Name, mv.Kind); err != nil {
+				return err
+			}
+			lastName = mv.Name
+		}
+		switch mv.Kind {
+		case "histogram":
+			cum := int64(0)
+			for i, b := range mv.Buckets {
+				cum += b
+				le := "+Inf"
+				if i < len(mv.Bounds) {
+					le = formatFloat(mv.Bounds[i])
+				}
+				if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n",
+					mv.Name, promLabels(mv.Labels, Label{"le", le}), cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", mv.Name, promLabels(mv.Labels), formatFloat(mv.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s_count%s %d\n", mv.Name, promLabels(mv.Labels), mv.Count); err != nil {
+				return err
+			}
+		default:
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", mv.Name, promLabels(mv.Labels), formatFloat(mv.Value)); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// promLabels renders a label set (plus optional extras like le) as
+// {k="v",...}, or the empty string when there are no labels.
+func promLabels(labels []Label, extra ...Label) string {
+	if len(labels)+len(extra) == 0 {
+		return ""
+	}
+	all := append(append([]Label(nil), labels...), extra...)
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(strconv.Quote(l.Value))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// formatFloat renders floats the way Prometheus clients do: shortest
+// round-trip representation, integers without an exponent.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,101 @@
+package telemetry
+
+import (
+	"sort"
+	"sync"
+)
+
+// TenantSLO is one tenant's SLA attainment standing.
+type TenantSLO struct {
+	Tenant string
+	// Met and Missed count completed queries by SLA outcome.
+	Met, Missed int64
+	// Attainment is Met / (Met + Missed).
+	Attainment float64
+	// WorstNormalized is the largest observed latency / SLA-target ratio.
+	WorstNormalized float64
+	// OK reports whether Attainment >= the service guarantee P.
+	OK bool
+}
+
+// SLAAccount accumulates per-tenant SLA hit/miss tallies — the per-query
+// accounting primitive that pricing, diagnosis, and the /v1/slo endpoint
+// build on.
+type SLAAccount struct {
+	mu        sync.Mutex
+	p         float64
+	perTenant map[string]*slaCounts
+}
+
+type slaCounts struct {
+	met, missed int64
+	worst       float64
+}
+
+// NewSLAAccount builds an account judged against the guarantee p (fraction,
+// e.g. 0.999).
+func NewSLAAccount(p float64) *SLAAccount {
+	return &SLAAccount{p: p, perTenant: make(map[string]*slaCounts)}
+}
+
+// P returns the guarantee the account judges against.
+func (a *SLAAccount) P() float64 { return a.p }
+
+// Observe records one completed query's SLA outcome.
+func (a *SLAAccount) Observe(tenant string, normalized float64, met bool) {
+	a.mu.Lock()
+	c := a.perTenant[tenant]
+	if c == nil {
+		c = &slaCounts{}
+		a.perTenant[tenant] = c
+	}
+	if met {
+		c.met++
+	} else {
+		c.missed++
+	}
+	if normalized > c.worst {
+		c.worst = normalized
+	}
+	a.mu.Unlock()
+}
+
+// Report returns every observed tenant's standing, sorted by tenant ID.
+func (a *SLAAccount) Report() []TenantSLO {
+	a.mu.Lock()
+	out := make([]TenantSLO, 0, len(a.perTenant))
+	for t, c := range a.perTenant {
+		total := c.met + c.missed
+		att := 1.0
+		if total > 0 {
+			att = float64(c.met) / float64(total)
+		}
+		out = append(out, TenantSLO{
+			Tenant:          t,
+			Met:             c.met,
+			Missed:          c.missed,
+			Attainment:      att,
+			WorstNormalized: c.worst,
+			OK:              att >= a.p,
+		})
+	}
+	a.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Tenant < out[j].Tenant })
+	return out
+}
+
+// Overall returns the service-wide attainment across all tenants (1 when
+// nothing completed yet).
+func (a *SLAAccount) Overall() float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var met, total int64
+	for _, c := range a.perTenant {
+		met += c.met
+		total += c.met + c.missed
+	}
+	if total == 0 {
+		return 1
+	}
+	return float64(met) / float64(total)
+}

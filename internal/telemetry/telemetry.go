@@ -1,0 +1,71 @@
+// Package telemetry is Thrifty's self-observation layer: a dependency-free
+// metrics registry (atomic counters, gauges, and fixed-boundary latency
+// histograms with Prometheus text encoding), causally-linked trace spans
+// driven by a pluggable clock (virtual time in simulations, wall time in a
+// live service), a bounded subscribable stream of SLA-relevant events, and
+// per-tenant SLA attainment accounting.
+//
+// The whole layer is deterministic under the simulator: span and event
+// identifiers are monotonic counters (never random), timestamps come from
+// the injected Clock, and every dump/encoding orders its output totally —
+// two runs of the same seeded simulation emit byte-identical traces and
+// event logs.
+//
+// A Hub bundles one of each component and is what the instrumented
+// subsystems (router, mppdb, monitor, scaling, replay, service) share. All
+// components are safe for concurrent use; instrumentation sites treat a nil
+// Hub as "telemetry disabled".
+package telemetry
+
+import (
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Clock supplies timestamps for spans and events. *sim.Engine satisfies it
+// directly (virtual time); WallClock adapts the machine clock for live
+// deployments.
+type Clock interface {
+	Now() sim.Time
+}
+
+// WallClock is a Clock over the machine's monotonic wall time, expressed as
+// a sim.Time offset from the moment the clock was created — the same
+// timeline shape the simulator uses, so consumers never branch on the mode.
+type WallClock struct {
+	start time.Time
+}
+
+// NewWallClock anchors a wall clock at the current instant.
+func NewWallClock() *WallClock { return &WallClock{start: time.Now()} }
+
+// Now returns the elapsed wall time since the anchor.
+func (c *WallClock) Now() sim.Time { return sim.Time(time.Since(c.start)) }
+
+// Hub bundles the four telemetry components behind one handle.
+type Hub struct {
+	Registry *Registry
+	Tracer   *Tracer
+	Events   *EventLog
+	SLA      *SLAAccount
+}
+
+// Default capacities for the bounded components. Large enough that a full
+// replay window is observable, small enough to bound memory regardless of
+// run length.
+const (
+	DefaultSpanCapacity  = 8192
+	DefaultEventCapacity = 4096
+)
+
+// NewHub builds a hub over the clock. p is the performance SLA guarantee
+// the per-tenant attainment is judged against.
+func NewHub(clock Clock, p float64) *Hub {
+	return &Hub{
+		Registry: NewRegistry(),
+		Tracer:   NewTracer(clock, DefaultSpanCapacity),
+		Events:   NewEventLog(clock, DefaultEventCapacity),
+		SLA:      NewSLAAccount(p),
+	}
+}

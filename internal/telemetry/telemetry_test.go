@@ -1,0 +1,209 @@
+package telemetry
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func TestSpansAgainstSimClock(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracer(eng, 16)
+
+	root := tr.StartSpan("query", "tenant", "T1", "class", "TPCH-Q1")
+	route := tr.StartChild(root.Context(), "route")
+	route.Annotate("mppdb", "TG-0-db0")
+	route.End()
+	exec := tr.StartChild(root.Context(), "execute")
+	eng.Schedule(5*sim.Second, func(sim.Time) {
+		exec.End()
+		root.End()
+	})
+	eng.RunAll()
+
+	spans := tr.Finished()
+	if len(spans) != 3 {
+		t.Fatalf("%d finished spans", len(spans))
+	}
+	// Commit order: route, execute, query.
+	if spans[0].Name != "route" || spans[1].Name != "execute" || spans[2].Name != "query" {
+		t.Errorf("span order %v %v %v", spans[0].Name, spans[1].Name, spans[2].Name)
+	}
+	for _, s := range spans[:2] {
+		if s.Parent != spans[2].ID || s.Trace != spans[2].Trace {
+			t.Errorf("span %s not linked to root: %+v", s.Name, s)
+		}
+	}
+	if spans[1].Duration() != 5*sim.Second {
+		t.Errorf("execute duration %v", spans[1].Duration())
+	}
+	// End is idempotent.
+	root.End()
+	if len(tr.Finished()) != 3 {
+		t.Error("double End committed twice")
+	}
+}
+
+func TestTracerRingBound(t *testing.T) {
+	eng := sim.NewEngine()
+	tr := NewTracer(eng, 4)
+	for i := 0; i < 10; i++ {
+		tr.StartSpan("s").End()
+	}
+	spans := tr.Finished()
+	if len(spans) != 4 {
+		t.Fatalf("%d retained", len(spans))
+	}
+	if spans[0].ID != 7 || spans[3].ID != 10 {
+		t.Errorf("retained IDs %d..%d, want 7..10", spans[0].ID, spans[3].ID)
+	}
+	if tr.Dropped() != 6 {
+		t.Errorf("dropped = %d", tr.Dropped())
+	}
+}
+
+func TestWallClock(t *testing.T) {
+	c := NewWallClock()
+	a := c.Now()
+	time.Sleep(2 * time.Millisecond)
+	b := c.Now()
+	if a < 0 || b <= a {
+		t.Errorf("wall clock not monotonic: %v then %v", a, b)
+	}
+	// The tracer works unchanged against wall time.
+	tr := NewTracer(c, 4)
+	sp := tr.StartSpan("wall")
+	time.Sleep(time.Millisecond)
+	sp.End()
+	if d := tr.Finished()[0].Duration(); d < sim.Millisecond {
+		t.Errorf("wall span duration %v", d)
+	}
+}
+
+func TestEventLogRingAndSubscribe(t *testing.T) {
+	eng := sim.NewEngine()
+	l := NewEventLog(eng, 3)
+	ch, cancel := l.Subscribe(2)
+
+	for i := 0; i < 5; i++ {
+		eng.Schedule(sim.Time(i)*sim.Second, func(sim.Time) {
+			l.Publish(Event{Type: EventSLAViolation, Tenant: "T1"})
+		})
+	}
+	eng.RunAll()
+
+	recent := l.Recent(0)
+	if len(recent) != 3 {
+		t.Fatalf("%d retained", len(recent))
+	}
+	if recent[0].Seq != 3 || recent[2].Seq != 5 {
+		t.Errorf("retained seqs %d..%d, want 3..5", recent[0].Seq, recent[2].Seq)
+	}
+	if recent[2].At != 4*sim.Second {
+		t.Errorf("event At = %v", recent[2].At)
+	}
+	if got := l.Recent(1); len(got) != 1 || got[0].Seq != 5 {
+		t.Errorf("Recent(1) = %+v", got)
+	}
+	if l.Total() != 5 {
+		t.Errorf("total = %d", l.Total())
+	}
+
+	// The subscriber's buffer held 2; the rest were dropped, never blocking.
+	if ev := <-ch; ev.Seq != 1 {
+		t.Errorf("first delivered seq %d", ev.Seq)
+	}
+	cancel()
+	cancel() // idempotent
+	if _, ok := <-ch; ok {
+		// one buffered event may remain; drain until closed
+		if _, ok := <-ch; ok {
+			t.Error("channel not closed after cancel")
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	ev := Event{Seq: 7, At: 90 * sim.Second, Type: EventScalingTriggered,
+		Group: "TG-0", Tenant: "T3", Value: 0.99, Detail: "over-active [T3]"}
+	want := "#7 0d00:01:30.000 scaling_triggered group=TG-0 tenant=T3 value=0.99 over-active [T3]"
+	if got := ev.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+}
+
+func TestSLAAccount(t *testing.T) {
+	a := NewSLAAccount(0.999)
+	a.Observe("T2", 0.8, true)
+	a.Observe("T1", 1.5, false)
+	a.Observe("T1", 0.9, true)
+	a.Observe("T1", 0.9, true)
+
+	rep := a.Report()
+	if len(rep) != 2 || rep[0].Tenant != "T1" || rep[1].Tenant != "T2" {
+		t.Fatalf("report = %+v", rep)
+	}
+	t1 := rep[0]
+	if t1.Met != 2 || t1.Missed != 1 || t1.WorstNormalized != 1.5 || t1.OK {
+		t.Errorf("T1 = %+v", t1)
+	}
+	if !rep[1].OK || rep[1].Attainment != 1 {
+		t.Errorf("T2 = %+v", rep[1])
+	}
+	if got, want := a.Overall(), 3.0/4.0; got != want {
+		t.Errorf("overall = %v, want %v", got, want)
+	}
+	if NewSLAAccount(0.9).Overall() != 1 {
+		t.Error("empty account overall != 1")
+	}
+}
+
+// TestHubConcurrency drives every hub component from many goroutines at once
+// under -race: spans, events with a live subscriber, SLA observations.
+func TestHubConcurrency(t *testing.T) {
+	h := NewHub(NewWallClock(), 0.999)
+	ch, cancel := h.Events.Subscribe(64)
+	defer cancel()
+	done := make(chan struct{})
+	go func() { // consumer
+		for range ch {
+		}
+		close(done)
+	}()
+
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 300; j++ {
+				sp := h.Tracer.StartSpan("op", "worker", "w")
+				h.Registry.Counter("ops_total").Inc()
+				h.SLA.Observe("T1", 0.5, true)
+				h.Events.Publish(Event{Type: EventSLAViolation, Tenant: "T1"})
+				sp.End()
+			}
+		}(i)
+	}
+	wg.Wait()
+	cancel()
+	<-done
+
+	if h.Registry.Counter("ops_total").Value() != 3000 {
+		t.Errorf("ops = %d", h.Registry.Counter("ops_total").Value())
+	}
+	if h.Events.Total() != 3000 {
+		t.Errorf("events = %d", h.Events.Total())
+	}
+	var buf bytes.Buffer
+	if err := h.Tracer.Dump(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "op") {
+		t.Error("trace dump empty")
+	}
+}

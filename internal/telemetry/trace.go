@@ -1,0 +1,180 @@
+package telemetry
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/sim"
+)
+
+// SpanContext identifies a span within its trace, for causal linking.
+type SpanContext struct {
+	Trace uint64
+	Span  uint64
+}
+
+// SpanRecord is one finished span.
+type SpanRecord struct {
+	Trace  uint64
+	ID     uint64
+	Parent uint64 // 0 for root spans
+	Name   string
+	Start  sim.Time
+	End    sim.Time
+	Attrs  []Label // insertion order
+}
+
+// Duration returns the span's elapsed clock time.
+func (r SpanRecord) Duration() sim.Time { return r.End - r.Start }
+
+// Tracer creates spans against a Clock and retains the most recent finished
+// spans in a bounded ring. Identifiers are monotonic counters, so a
+// deterministic simulation yields a byte-identical Dump across runs.
+type Tracer struct {
+	mu        sync.Mutex
+	clock     Clock
+	nextTrace uint64
+	nextSpan  uint64
+	ring      []SpanRecord
+	start     int
+	n         int
+	dropped   uint64
+}
+
+// NewTracer builds a tracer retaining up to capacity finished spans.
+func NewTracer(clock Clock, capacity int) *Tracer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Tracer{clock: clock, ring: make([]SpanRecord, capacity)}
+}
+
+// Span is an in-flight operation. End it exactly once; End is idempotent so
+// error paths may end defensively.
+type Span struct {
+	t     *Tracer
+	rec   SpanRecord
+	ended bool
+}
+
+// StartSpan opens a root span of a fresh trace. attrs is a flat
+// key, value, ... list recorded on the span.
+func (t *Tracer) StartSpan(name string, attrs ...string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextTrace++
+	return t.newSpan(t.nextTrace, 0, name, attrs)
+}
+
+// StartChild opens a span causally under parent.
+func (t *Tracer) StartChild(parent SpanContext, name string, attrs ...string) *Span {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.newSpan(parent.Trace, parent.Span, name, attrs)
+}
+
+// newSpan allocates the span; callers hold t.mu.
+func (t *Tracer) newSpan(trace, parent uint64, name string, attrs []string) *Span {
+	t.nextSpan++
+	return &Span{t: t, rec: SpanRecord{
+		Trace:  trace,
+		ID:     t.nextSpan,
+		Parent: parent,
+		Name:   name,
+		Start:  t.clock.Now(),
+		Attrs:  pairsOrdered(attrs),
+	}}
+}
+
+// pairsOrdered converts a flat key/value list preserving insertion order
+// (unlike metric labels, span attributes tell a story in sequence).
+func pairsOrdered(kv []string) []Label {
+	if len(kv)%2 != 0 {
+		panic(fmt.Sprintf("telemetry: odd attribute list %q", kv))
+	}
+	out := make([]Label, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+	}
+	return out
+}
+
+// Context returns the span's identity for linking children.
+func (s *Span) Context() SpanContext {
+	return SpanContext{Trace: s.rec.Trace, Span: s.rec.ID}
+}
+
+// Annotate appends an attribute to the span.
+func (s *Span) Annotate(key, value string) {
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if !s.ended {
+		s.rec.Attrs = append(s.rec.Attrs, Label{Key: key, Value: value})
+	}
+}
+
+// End closes the span at the clock's current time and commits it to the
+// tracer's ring. Subsequent Ends are no-ops.
+func (s *Span) End() {
+	s.t.mu.Lock()
+	defer s.t.mu.Unlock()
+	if s.ended {
+		return
+	}
+	s.ended = true
+	s.rec.End = s.t.clock.Now()
+	t := s.t
+	if t.n == len(t.ring) {
+		t.ring[t.start] = s.rec
+		t.start = (t.start + 1) % len(t.ring)
+		t.dropped++
+	} else {
+		t.ring[(t.start+t.n)%len(t.ring)] = s.rec
+		t.n++
+	}
+}
+
+// Finished returns the retained finished spans, oldest first (which is also
+// ascending span-ID order, since spans commit on End and the sim clock never
+// runs backwards within a run).
+func (t *Tracer) Finished() []SpanRecord {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]SpanRecord, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.ring[(t.start+i)%len(t.ring)])
+	}
+	return out
+}
+
+// Dropped returns how many finished spans were evicted from the ring.
+func (t *Tracer) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Dump writes every retained span as one text line:
+//
+//	trace=3 span=7 parent=5 query 0d00:01:02.000 → 0d00:01:08.500 (6.5s) tenant=T0001 class=TPCH-Q1
+//
+// The output is totally ordered (commit order) and contains no wall-clock or
+// random content, so deterministic runs produce identical bytes.
+func (t *Tracer) Dump(w io.Writer) error {
+	for _, r := range t.Finished() {
+		if _, err := fmt.Fprintf(w, "trace=%d span=%d parent=%d %s %v → %v (%v)",
+			r.Trace, r.ID, r.Parent, r.Name, r.Start, r.End, r.Duration().Sub(0)); err != nil {
+			return err
+		}
+		for _, a := range r.Attrs {
+			if _, err := fmt.Fprintf(w, " %s=%s", a.Key, a.Value); err != nil {
+				return err
+			}
+		}
+		if _, err := io.WriteString(w, "\n"); err != nil {
+			return err
+		}
+	}
+	return nil
+}

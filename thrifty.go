@@ -33,6 +33,7 @@ import (
 	"repro/internal/scaling"
 	"repro/internal/service"
 	"repro/internal/sim"
+	"repro/internal/telemetry"
 	"repro/internal/tenant"
 	"repro/internal/workload"
 )
@@ -223,10 +224,17 @@ func (s *System) Replay(opts ReplayOptions) (*ReplayReport, error) {
 type ServeOptions struct {
 	// TimeScale is virtual seconds per wall second (default 60).
 	TimeScale float64
+	// DisableMetrics removes the Prometheus GET /metrics endpoint.
+	DisableMetrics bool
 }
 
 // Handler returns the MPPDBaaS HTTP API over the system.
 func (s *System) Handler(opts ServeOptions) (http.Handler, error) {
 	return service.New(s.Engine, s.Deployment, s.Workload.Catalog, s.Plan,
-		service.Config{TimeScale: opts.TimeScale})
+		service.Config{TimeScale: opts.TimeScale, DisableMetrics: opts.DisableMetrics})
 }
+
+// Telemetry returns the system's telemetry hub: the metrics registry, query
+// tracer, SLA-event stream, and per-tenant SLA accounting every subsystem
+// reports into.
+func (s *System) Telemetry() *telemetry.Hub { return s.Deployment.Telemetry() }
