@@ -7,12 +7,17 @@ package thrifty
 // (paper-parameter) runs are `go run ./cmd/thrifty-experiments -scale full`.
 
 import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/experiments"
+	"repro/internal/service"
 )
 
 var (
@@ -189,6 +194,60 @@ func BenchmarkAblation_Solvers(b *testing.B) {
 		eff = cell(b, t.Rows[0][1])
 	}
 	b.ReportMetric(eff, "%eff_2step")
+}
+
+// benchConcurrentSubmits drives the HTTP submit hot path from GOMAXPROCS
+// goroutines, one tenant per group so concurrent requests target distinct
+// tenant-groups. Shared mode funnels every group through one clock domain;
+// sharded mode gives each its own, so distinct-group submits only contend on
+// the topology RLock.
+func benchConcurrentSubmits(b *testing.B, sharded bool) {
+	w, err := GenerateWorkload(WorkloadConfig{Tenants: 64, Days: 2, SessionsPerClass: 4, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := PlanDeployment(w, DefaultPlanConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys, err := Deploy(w, plan, DeployOptions{Immediate: true, Sharded: sharded})
+	if err != nil {
+		b.Fatal(err)
+	}
+	h, err := service.New(sys.Deployment, w.Catalog, plan,
+		service.Config{TimeScale: 60, DisableMetrics: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	groups := sys.Deployment.Groups()
+	bodies := make([]string, len(groups))
+	for i, g := range groups {
+		bodies[i] = fmt.Sprintf(`{"tenant":%q,"query":"TPCH-Q6"}`, g.Plan.TenantIDs[0])
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			body := bodies[int(next.Add(1))%len(bodies)]
+			req := httptest.NewRequest(http.MethodPost, "/v1/queries", strings.NewReader(body))
+			rec := httptest.NewRecorder()
+			h.ServeHTTP(rec, req)
+			if rec.Code != http.StatusAccepted {
+				b.Errorf("status %d: %s", rec.Code, rec.Body.String())
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(len(groups)), "groups")
+}
+
+// BenchmarkService_ConcurrentSubmits compares the service front end's submit
+// throughput on a shared-domain deployment (pre-sharding behaviour: every
+// group behind one clock) against a sharded one (per-group clock domains).
+func BenchmarkService_ConcurrentSubmits(b *testing.B) {
+	b.Run("shared", func(b *testing.B) { benchConcurrentSubmits(b, false) })
+	b.Run("sharded", func(b *testing.B) { benchConcurrentSubmits(b, true) })
 }
 
 // BenchmarkHeadline_Consolidation regenerates the banner result: nodes used

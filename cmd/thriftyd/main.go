@@ -49,6 +49,7 @@ func main() {
 		timeScale = flag.Float64("timescale", 60, "virtual seconds per wall second")
 		seed      = flag.Int64("seed", 1, "random seed")
 		metrics   = flag.Bool("metrics", true, "expose Prometheus text metrics at /metrics")
+		sharded   = flag.Bool("sharded", true, "per-group clock domains: submits to different tenant-groups proceed in parallel")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 		Immediate:    true,
 		ParallelLoad: true,
 		SpareNodes:   64,
+		Sharded:      *sharded,
 	})
 	if err != nil {
 		fatal("%v", err)
@@ -96,8 +98,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v)\n",
-		*addr, *timeScale, *metrics)
+	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v)\n",
+		*addr, *timeScale, *metrics, *sharded)
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,53 @@
+package thrifty
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+)
+
+// Golden SHA-256 hashes of the canonical shared-domain replay's telemetry
+// dumps, captured on the pre-sharding runtime (before internal/runtime and
+// the per-group clock domains existed). The shared-domain experiment path
+// must stay byte-identical across refactors: every figure in §7 depends on
+// the globally ordered event interleaving these dumps encode. If a change
+// legitimately alters the replay (new workload defaults, new telemetry
+// sites), re-capture with:
+//
+//	go test -run TestSharedDomainReplayGolden -v . 2>&1 | grep -E 'traces|events'
+const (
+	goldenTraceSum = "8265c95382af48593f08e1c97fa6f3ffe1807a03e989d7b25215b2bef86fa4e7"
+	goldenEventSum = "f7b23992bddc97af98cfd6830968e7e6b8e02cd936e642534959045e48835d44"
+)
+
+// goldenDump runs the canonical shared-domain replay (replayOnce) and hashes
+// its telemetry dumps.
+func goldenDump(t *testing.T) (traceSum, eventSum string) {
+	t.Helper()
+	sys, _ := replayOnce(t)
+	var traces, events bytes.Buffer
+	if err := sys.Telemetry().Tracer.Dump(&traces); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Telemetry().Events.Dump(&events); err != nil {
+		t.Fatal(err)
+	}
+	ts := sha256.Sum256(traces.Bytes())
+	es := sha256.Sum256(events.Bytes())
+	return hex.EncodeToString(ts[:]), hex.EncodeToString(es[:])
+}
+
+// TestSharedDomainReplayGolden pins the shared-domain replay to the
+// pre-refactor output: same seed, byte-identical telemetry dumps.
+func TestSharedDomainReplayGolden(t *testing.T) {
+	traceSum, eventSum := goldenDump(t)
+	t.Logf("traces: %s", traceSum)
+	t.Logf("events: %s", eventSum)
+	if traceSum != goldenTraceSum {
+		t.Errorf("trace dump drifted from pre-refactor golden:\n got  %s\n want %s", traceSum, goldenTraceSum)
+	}
+	if eventSum != goldenEventSum {
+		t.Errorf("event dump drifted from pre-refactor golden:\n got  %s\n want %s", eventSum, goldenEventSum)
+	}
+}

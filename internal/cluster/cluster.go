@@ -12,6 +12,7 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"sync"
 	"time"
 )
 
@@ -52,8 +53,12 @@ type Node struct {
 	Owner string
 }
 
-// Pool is the cluster-wide node inventory.
+// Pool is the cluster-wide node inventory. It is safe for concurrent use:
+// in a sharded deployment the per-group elastic scalers and the failure
+// injector draw replacement and scale-up nodes from one shared pool while
+// running on different clock domains.
 type Pool struct {
+	mu    sync.Mutex
 	nodes []*Node
 }
 
@@ -71,6 +76,8 @@ func (p *Pool) Size() int { return len(p.nodes) }
 
 // CountState returns the number of nodes in the given state.
 func (p *Pool) CountState(s NodeState) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	n := 0
 	for _, nd := range p.nodes {
 		if nd.State == s {
@@ -83,6 +90,12 @@ func (p *Pool) CountState(s NodeState) int {
 // Acquire marks n hibernated nodes Active on behalf of owner and returns
 // them. It fails without side effects when fewer than n nodes are free.
 func (p *Pool) Acquire(owner string, n int) ([]*Node, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.acquireLocked(owner, n)
+}
+
+func (p *Pool) acquireLocked(owner string, n int) ([]*Node, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: acquire of %d nodes", n)
 	}
@@ -108,6 +121,8 @@ func (p *Pool) Acquire(owner string, n int) ([]*Node, error) {
 // Release returns all of owner's nodes to the hibernated state and reports
 // how many were released.
 func (p *Pool) Release(owner string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	n := 0
 	for _, nd := range p.nodes {
 		if nd.Owner == owner {
@@ -122,6 +137,8 @@ func (p *Pool) Release(owner string) int {
 // Fail marks the node with the given ID failed. It returns the node's owner
 // so the caller can notify the hosting MPPDB.
 func (p *Pool) Fail(id int) (string, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if id < 0 || id >= len(p.nodes) {
 		return "", fmt.Errorf("cluster: no node %d", id)
 	}
@@ -138,6 +155,8 @@ func (p *Pool) Fail(id int) (string, error) {
 // node upon receiving node failure notification"). It returns the
 // replacement node.
 func (p *Pool) Replace(id int) (*Node, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	if id < 0 || id >= len(p.nodes) {
 		return nil, fmt.Errorf("cluster: no node %d", id)
 	}
@@ -145,7 +164,7 @@ func (p *Pool) Replace(id int) (*Node, error) {
 	if failed.State != Failed {
 		return nil, fmt.Errorf("cluster: node %d is %v, not failed", id, failed.State)
 	}
-	repl, err := p.Acquire(failed.Owner, 1)
+	repl, err := p.acquireLocked(failed.Owner, 1)
 	if err != nil {
 		return nil, err
 	}
@@ -157,6 +176,8 @@ func (p *Pool) Replace(id int) (*Node, error) {
 // Owners returns the distinct owner IDs with at least one active node,
 // sorted for deterministic iteration.
 func (p *Pool) Owners() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
 	seen := map[string]bool{}
 	for _, nd := range p.nodes {
 		if nd.State == Active && nd.Owner != "" {

@@ -2,9 +2,14 @@
 // a deployment plan on the shared cluster — acquiring machine nodes,
 // starting the MPPDB instances of every tenant-group, bulk loading every
 // member tenant onto each of its group's A MPPDBs, and keeping unused nodes
-// hibernated. The resulting Deployment bundles the per-group routers and
-// activity monitors the run-time side (query routing, elastic scaling)
-// operates on.
+// hibernated. The resulting Deployment bundles the per-group runtimes
+// (router, activity monitor, clock domain) the run-time side operates on.
+//
+// Deploy supports two clock layouts (see internal/sim's domain
+// documentation): shared mode builds every group on the master's engine
+// behind one domain, so a single driver reproduces experiments
+// bit-identically; sharded mode gives each group a private engine and
+// domain, so the service path can run groups fully in parallel.
 package master
 
 import (
@@ -17,6 +22,7 @@ import (
 	"repro/internal/mppdb"
 	"repro/internal/queries"
 	"repro/internal/router"
+	"repro/internal/runtime"
 	"repro/internal/scaling"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -34,8 +40,13 @@ type Options struct {
 	// MonitorWindow is the RT-TTP window (default 24 h).
 	MonitorWindow time.Duration
 	// Telemetry overrides the deployment's telemetry hub. When nil, Deploy
-	// creates one over the engine's virtual clock with the plan's P.
+	// creates one over the deployment's clock with the plan's P.
 	Telemetry *telemetry.Hub
+	// Sharded gives each tenant-group a private engine and clock domain so
+	// groups can be driven concurrently (the service path). The default —
+	// one shared domain over the master's engine — keeps event interleaving
+	// globally ordered for bit-identical experiment replay.
+	Sharded bool
 }
 
 // DefaultOptions returns the thesis' run-time settings.
@@ -44,22 +55,14 @@ func DefaultOptions() Options {
 }
 
 // DeployedGroup is one tenant-group brought up on the cluster.
-type DeployedGroup struct {
-	Plan      advisor.PlannedGroup
-	Instances []*mppdb.Instance // index 0 is the tuning MPPDB G₀
-	Router    *router.GroupRouter
-	Monitor   *monitor.GroupMonitor
-	Members   []*tenant.Tenant
-}
+type DeployedGroup = runtime.GroupRuntime
 
 // Deployment is a live MPPDBaaS deployment.
 type Deployment struct {
-	eng    *sim.Engine
-	pool   *cluster.Pool
-	groups []*DeployedGroup
-	byTen  map[string]*DeployedGroup
-	ready  map[string]sim.Time
-	tel    *telemetry.Hub
+	eng   *sim.Engine // shared-mode engine; unused by groups when sharded
+	pool  *cluster.Pool
+	plane *runtime.Plane
+	ready map[string]sim.Time
 }
 
 // Master executes deployment plans.
@@ -80,18 +83,41 @@ func New(eng *sim.Engine, pool *cluster.Pool, opts Options) *Master {
 // Deploy brings a plan up. tenants must contain every tenant referenced by
 // the plan's groups.
 func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (*Deployment, error) {
+	// Clock layout first: the telemetry hub needs its clock before any
+	// instrumented subsystem is built. Shared mode keeps the hub on the
+	// master's engine (the pre-sharding layout, byte-for-byte); sharded mode
+	// reads the max over the per-group domain mirrors, which is lock-free
+	// and therefore safe to call while any single domain is held.
+	engines := make([]*sim.Engine, len(plan.Groups))
+	domains := make([]*sim.Domain, len(plan.Groups))
+	if m.opts.Sharded {
+		for i := range plan.Groups {
+			engines[i] = sim.NewEngine()
+			domains[i] = sim.NewDomain(engines[i])
+		}
+	} else {
+		shared := sim.NewDomain(m.eng)
+		for i := range plan.Groups {
+			engines[i] = m.eng
+			domains[i] = shared
+		}
+	}
 	tel := m.opts.Telemetry
 	if tel == nil {
-		tel = telemetry.NewHub(m.eng, plan.Config.P)
+		if m.opts.Sharded {
+			tel = telemetry.NewHub(sim.Domains(domains), plan.Config.P)
+		} else {
+			tel = telemetry.NewHub(m.eng, plan.Config.P)
+		}
 	}
 	dep := &Deployment{
 		eng:   m.eng,
 		pool:  m.pool,
-		byTen: make(map[string]*DeployedGroup),
+		plane: runtime.NewPlane(tel, m.opts.Sharded),
 		ready: make(map[string]sim.Time),
-		tel:   tel,
 	}
-	for _, pg := range plan.Groups {
+	for gi, pg := range plan.Groups {
+		eng := engines[gi]
 		members := make([]*tenant.Tenant, 0, len(pg.TenantIDs))
 		var groupGB float64
 		for _, id := range pg.TenantIDs {
@@ -113,7 +139,7 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 			if _, err := m.pool.Acquire(id, nodes); err != nil {
 				return nil, fmt.Errorf("master: group %s: %w", pg.ID, err)
 			}
-			inst := mppdb.New(m.eng, id, nodes)
+			inst := mppdb.New(eng, id, nodes)
 			inst.SetTelemetry(tel)
 			for _, tn := range members {
 				inst.DeployTenant(tn.ID, tn.DataGB)
@@ -121,19 +147,19 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 			if !m.opts.Immediate {
 				inst.SetState(mppdb.Provisioning)
 				delay := cluster.StartupTime(nodes) + cluster.LoadTime(groupGB, nodes, m.opts.ParallelLoad)
-				at := m.eng.Now().Add(delay)
+				at := eng.Now().Add(delay)
 				if at > readyAt {
 					readyAt = at
 				}
-				m.eng.After(delay, func(sim.Time) { inst.SetState(mppdb.Ready) })
+				eng.After(delay, func(sim.Time) { inst.SetState(mppdb.Ready) })
 			}
 			g.Instances = append(g.Instances, inst)
 		}
-		mon, err := monitor.NewGroup(m.eng, pg.ID, pg.Design.A, m.opts.MonitorWindow)
+		mon, err := monitor.NewGroup(eng, pg.ID, pg.Design.A, m.opts.MonitorWindow)
 		if err != nil {
 			return nil, err
 		}
-		rt, err := router.NewGroup(m.eng, pg.ID, g.Instances, members, mon)
+		rt, err := router.NewGroup(eng, pg.ID, g.Instances, members, mon)
 		if err != nil {
 			return nil, err
 		}
@@ -141,40 +167,46 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 		rt.SetTelemetry(tel)
 		g.Monitor = mon
 		g.Router = rt
-		dep.groups = append(dep.groups, g)
+		g.Bind(domains[gi])
+		dep.plane.Add(g)
 		dep.ready[pg.ID] = readyAt
-		for _, tn := range members {
-			dep.byTen[tn.ID] = g
-		}
 	}
 	return dep, nil
 }
 
 // Groups returns the deployed tenant-groups.
-func (d *Deployment) Groups() []*DeployedGroup { return d.groups }
+func (d *Deployment) Groups() []*DeployedGroup { return d.plane.Groups() }
+
+// Plane returns the deployment's runtime plane (groups, tenant index, clock
+// domains).
+func (d *Deployment) Plane() *runtime.Plane { return d.plane }
+
+// Sharded reports whether groups run on private clock domains.
+func (d *Deployment) Sharded() bool { return d.plane.Sharded() }
 
 // Telemetry returns the deployment's telemetry hub (never nil after Deploy).
-func (d *Deployment) Telemetry() *telemetry.Hub { return d.tel }
+func (d *Deployment) Telemetry() *telemetry.Hub { return d.plane.Hub() }
 
 // GroupFor returns the group hosting the tenant.
 func (d *Deployment) GroupFor(tenantID string) (*DeployedGroup, bool) {
-	g, ok := d.byTen[tenantID]
-	return g, ok
+	return d.plane.ForTenant(tenantID)
 }
 
 // ReadyAt returns when a group's provisioning completes (zero when deployed
 // with Options.Immediate).
 func (d *Deployment) ReadyAt(groupID string) sim.Time { return d.ready[groupID] }
 
-// Submit routes a query for the tenant through its group's router.
+// Submit routes a query for the tenant through its group's router. It is a
+// single-driver path: the caller must own the group's engine (shared-mode
+// replay does). Concurrent callers use the group's SubmitAt instead.
 func (d *Deployment) Submit(tenantID string, class *queries.Class) (string, error) {
 	return d.SubmitWithTarget(tenantID, class, 0)
 }
 
 // SubmitWithTarget routes a query with an explicit SLA target (see
-// router.SubmitWithTarget).
+// router.SubmitWithTarget). Single-driver path, like Submit.
 func (d *Deployment) SubmitWithTarget(tenantID string, class *queries.Class, target sim.Time) (string, error) {
-	g, ok := d.byTen[tenantID]
+	g, ok := d.plane.ForTenant(tenantID)
 	if !ok {
 		return "", fmt.Errorf("master: tenant %s not deployed", tenantID)
 	}
@@ -190,12 +222,10 @@ func (d *Deployment) Pool() *cluster.Pool { return d.pool }
 
 // Tenants returns the deployed tenant index.
 func (d *Deployment) Tenants() map[string]*tenant.Tenant {
-	out := make(map[string]*tenant.Tenant, len(d.byTen))
-	for id, g := range d.byTen {
+	out := make(map[string]*tenant.Tenant)
+	for _, g := range d.plane.Groups() {
 		for _, tn := range g.Members {
-			if tn.ID == id {
-				out[id] = tn
-			}
+			out[tn.ID] = tn
 		}
 	}
 	return out
@@ -203,17 +233,19 @@ func (d *Deployment) Tenants() map[string]*tenant.Tenant {
 
 // ScalerTargets adapts the deployment's groups for the elastic scaler.
 func (d *Deployment) ScalerTargets() []*scaling.Target {
-	out := make([]*scaling.Target, 0, len(d.groups))
-	for _, g := range d.groups {
+	groups := d.plane.Groups()
+	out := make([]*scaling.Target, 0, len(groups))
+	for _, g := range groups {
 		out = append(out, &scaling.Target{Router: g.Router, Monitor: g.Monitor, Members: g.Members})
 	}
 	return out
 }
 
-// Records returns all completed query records across groups.
+// Records returns all completed query records across groups, in deployment
+// group order.
 func (d *Deployment) Records() []monitor.QueryRecord {
 	var out []monitor.QueryRecord
-	for _, g := range d.groups {
+	for _, g := range d.plane.Groups() {
 		out = append(out, g.Monitor.Records()...)
 	}
 	return out

@@ -208,6 +208,30 @@ func (m *Instance) TenantDataGB() float64 {
 	return gb
 }
 
+// Snapshot is a point-in-time copy of an instance's externally visible
+// state. Runtime shards hand snapshots across clock-domain boundaries so
+// read-only consumers (the service's group endpoints) never touch a live
+// instance without holding its domain.
+type Snapshot struct {
+	ID          string
+	Nodes       int
+	State       State
+	Running     int
+	FailedNodes int
+}
+
+// Snapshot captures the instance's current state. The caller must hold the
+// instance's clock domain (or otherwise be the engine's single driver).
+func (m *Instance) Snapshot() Snapshot {
+	return Snapshot{
+		ID:          m.id,
+		Nodes:       m.nodes,
+		State:       m.state,
+		Running:     len(m.execs),
+		FailedNodes: m.failedNodes,
+	}
+}
+
 // Busy reports whether any query is currently executing (§4.3's definition:
 // an MPPDB is free when it is not serving any queries).
 func (m *Instance) Busy() bool { return len(m.execs) > 0 }

@@ -8,6 +8,8 @@ package replay
 
 import (
 	"fmt"
+	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/cluster"
@@ -133,6 +135,9 @@ func Run(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
 	}
 	if opts.SampleEvery <= 0 {
 		opts.SampleEvery = 10 * time.Minute
+	}
+	if dep.Sharded() {
+		return nil, fmt.Errorf("replay: Run drives one shared engine; use RunParallel for a sharded deployment")
 	}
 	if eng.Now() > opts.From {
 		return nil, fmt.Errorf("replay: engine already at %v, window starts %v", eng.Now(), opts.From)
@@ -298,4 +303,268 @@ func Run(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
 		rep.ScalingEvents = scaler.Events()
 	}
 	return rep, nil
+}
+
+// groupReport accumulates one group's share of a parallel replay. All fields
+// are written only by the goroutine driving that group's clock domain.
+type groupReport struct {
+	samples      []Sample
+	records      []monitor.QueryRecord
+	scaling      []scaling.Event
+	submitted    int
+	submitErrors int
+	err          error
+}
+
+// RunParallel replays the logs against a sharded deployment, driving every
+// tenant-group's clock domain in its own goroutine. Tenant-groups share
+// nothing at query time (§3–§5), so each group's replay is independently
+// deterministic: per-group record sequences, samples, and scaling events are
+// identical run to run (and, with scaling disabled, identical to a shared
+// domain Run of the same seed). The merged Records are deterministic too —
+// stable-sorted by submit time, with deployment group order breaking ties.
+// Only cross-group telemetry ordering (event sequence numbers, trace
+// timestamps from the max-clock) is best-effort under parallelism.
+func RunParallel(dep *master.Deployment, cat *queries.Catalog,
+	logs []*workload.TenantLog, opts Options) (*Report, error) {
+	if opts.To <= opts.From {
+		return nil, fmt.Errorf("replay: window [%v,%v)", opts.From, opts.To)
+	}
+	if opts.SampleEvery <= 0 {
+		opts.SampleEvery = 10 * time.Minute
+	}
+	if !dep.Sharded() {
+		return nil, fmt.Errorf("replay: RunParallel needs a sharded deployment; use Run")
+	}
+	groups := dep.Groups()
+
+	// Partition the inputs by group up front, so each goroutine touches only
+	// its own slice.
+	index := make(map[*master.DeployedGroup]int, len(groups))
+	for i, g := range groups {
+		index[g] = i
+	}
+	logsBy := make([][]*workload.TenantLog, len(groups))
+	for _, tl := range logs {
+		if g, ok := dep.GroupFor(tl.Tenant.ID); ok {
+			logsBy[index[g]] = append(logsBy[index[g]], tl)
+		}
+	}
+	takeOverBy := -1
+	var takeOverClass *queries.Class
+	if to := opts.TakeOver; to != nil {
+		cl, ok := cat.ByID(to.ClassID)
+		if !ok {
+			return nil, fmt.Errorf("replay: unknown take-over class %s", to.ClassID)
+		}
+		g, ok := dep.GroupFor(to.Tenant)
+		if !ok {
+			return nil, fmt.Errorf("replay: take-over tenant %s not deployed", to.Tenant)
+		}
+		takeOverBy = index[g]
+		takeOverClass = cl
+	}
+	failEvents := make([]FailureEvent, len(opts.Failures))
+	failuresBy := make([][]int, len(groups))
+	for fi, f := range opts.Failures {
+		failEvents[fi] = FailureEvent{Failure: f}
+		found := false
+		for i, g := range groups {
+			if g.Plan.ID == f.Group {
+				failuresBy[i] = append(failuresBy[i], fi)
+				found = true
+				break
+			}
+		}
+		if !found {
+			failEvents[fi].Err = fmt.Sprintf("no group %q", f.Group)
+		}
+	}
+
+	reports := make([]groupReport, len(groups))
+	var wg sync.WaitGroup
+	for i := range groups {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reports[i] = replayGroup(dep, groups[i], cat, logsBy[i],
+				takeOverBy == i, takeOverClass, failuresBy[i], failEvents, opts)
+		}(i)
+	}
+	wg.Wait()
+
+	rep := &Report{Samples: make(map[string][]Sample), FailureEvents: failEvents}
+	for i, g := range groups {
+		r := &reports[i]
+		if r.err != nil {
+			return nil, r.err
+		}
+		rep.Samples[g.Plan.ID] = r.samples
+		rep.Records = append(rep.Records, r.records...)
+		rep.ScalingEvents = append(rep.ScalingEvents, r.scaling...)
+		rep.Submitted += r.submitted
+		rep.SubmitErrors += r.submitErrors
+	}
+	// Deterministic merge: per-group sequences are already deterministic;
+	// a stable sort by submit time (concatenation group order breaking
+	// ties) yields one canonical global order.
+	sort.SliceStable(rep.Records, func(i, j int) bool {
+		return rep.Records[i].Submit < rep.Records[j].Submit
+	})
+	return rep, nil
+}
+
+// replayGroup runs one group's slice of the replay on its own clock domain.
+// Everything is scheduled first under the domain (Do), then the domain is
+// advanced through the window; callbacks run while the domain is held, so
+// they use the group's raw subsystems directly and never re-enter locked
+// GroupRuntime methods.
+func replayGroup(dep *master.Deployment, g *master.DeployedGroup, cat *queries.Catalog,
+	logs []*workload.TenantLog, takeOver bool, takeOverClass *queries.Class,
+	failures []int, failEvents []FailureEvent, opts Options) groupReport {
+	var res groupReport
+	dom := g.Domain()
+	var scaler *scaling.Scaler
+	dom.Do(func(eng *sim.Engine) {
+		if eng.Now() > opts.From {
+			res.err = fmt.Errorf("replay: group %s already at %v, window starts %v",
+				g.Plan.ID, eng.Now(), opts.From)
+			return
+		}
+		for _, tl := range logs {
+			for _, ev := range tl.Materialize(opts.From, opts.To) {
+				ev := ev
+				class, ok := cat.ByID(ev.ClassID)
+				if !ok {
+					res.err = fmt.Errorf("replay: unknown query class %s", ev.ClassID)
+					return
+				}
+				eng.Schedule(ev.At, func(sim.Time) {
+					res.submitted++
+					if _, err := g.Router.SubmitWithTarget(ev.Tenant, class, ev.SLATarget); err != nil {
+						res.submitErrors++
+					}
+				})
+			}
+		}
+
+		// Take-over injection (§7.5), closed loop as in Run.
+		if takeOver {
+			to := opts.TakeOver
+			eng.Schedule(to.Start, func(sim.Time) {
+				if h := dep.Telemetry(); h != nil {
+					h.Events.Publish(telemetry.Event{
+						Type:   telemetry.EventTakeOver,
+						Group:  g.Plan.ID,
+						Tenant: to.Tenant,
+						Detail: fmt.Sprintf("continuous %s every %v", to.ClassID, to.Interval),
+					})
+				}
+			})
+			var hammer func(now sim.Time)
+			hammer = func(now sim.Time) {
+				if now >= opts.To {
+					return
+				}
+				if g.Router.TenantInFlight(to.Tenant) == 0 {
+					res.submitted++
+					if _, err := g.Router.SubmitWithTarget(to.Tenant, takeOverClass, 0); err != nil {
+						res.submitErrors++
+					}
+				}
+				eng.After(to.Interval, hammer)
+			}
+			eng.Schedule(to.Start, hammer)
+		}
+
+		// Failure injection for this group's instances (§4.4).
+		for _, fi := range failures {
+			fi := fi
+			f := failEvents[fi].Failure
+			eng.Schedule(f.At, func(sim.Time) {
+				ev := &failEvents[fi]
+				if f.Instance < 0 || f.Instance >= len(g.Instances) {
+					ev.Err = fmt.Sprintf("group %s has no instance %d", f.Group, f.Instance)
+					return
+				}
+				inst := g.Instances[f.Instance]
+				if err := inst.FailNode(); err != nil {
+					ev.Err = err.Error()
+					return
+				}
+				if h := dep.Telemetry(); h != nil {
+					h.Events.Publish(telemetry.Event{
+						Type:   telemetry.EventNodeFailure,
+						Group:  f.Group,
+						MPPDB:  inst.ID(),
+						Value:  float64(inst.FailedNodes()),
+						Detail: "degraded; replacement node starting",
+					})
+				}
+				eng.After(cluster.StartupTime(1), func(now sim.Time) {
+					if err := inst.RepairNode(); err != nil {
+						ev.Err = err.Error()
+						return
+					}
+					ev.RepairedAt = now
+					if h := dep.Telemetry(); h != nil {
+						h.Events.Publish(telemetry.Event{
+							Type:  telemetry.EventNodeRepair,
+							Group: f.Group,
+							MPPDB: inst.ID(),
+						})
+					}
+				})
+			})
+		}
+
+		// Statistics sampling for this group.
+		var sample func(now sim.Time)
+		sample = func(now sim.Time) {
+			rt := g.Monitor.RTTTP()
+			res.samples = append(res.samples, Sample{
+				At:     now,
+				RTTTP:  rt,
+				Active: g.Monitor.ActiveTenants(),
+			})
+			if h := dep.Telemetry(); h != nil {
+				h.Registry.Gauge("thrifty_group_rt_ttp", "group", g.Plan.ID).Set(rt)
+			}
+			if now < opts.To {
+				eng.After(opts.SampleEvery, sample)
+			}
+		}
+		eng.Schedule(opts.From, sample)
+
+		// Elastic scaling: one scaler per group, all drawing from the shared
+		// (mutex-protected) node pool. Scale-up MPPDB IDs stay deterministic:
+		// each scaler numbers its own group's instances.
+		if opts.EnableScaling {
+			var err error
+			scaler, err = scaling.New(eng, dep.Pool(), opts.ScalerConfig)
+			if err != nil {
+				res.err = err
+				return
+			}
+			scaler.SetTelemetry(dep.Telemetry())
+			scaler.Watch(&scaling.Target{Router: g.Router, Monitor: g.Monitor, Members: g.Members})
+			scaler.Start()
+		}
+	})
+	if res.err != nil {
+		return res
+	}
+
+	dom.Advance(opts.To, nil)
+	// Let in-flight queries finish; the scaler's periodic tick would run
+	// forever, so bound the drain at the window end plus a slack day.
+	dom.Advance(opts.To+sim.Day, nil)
+
+	dom.Do(func(*sim.Engine) {
+		res.records = append(res.records, g.Monitor.Records()...)
+		if scaler != nil {
+			res.scaling = scaler.Events()
+		}
+	})
+	return res
 }

@@ -2,12 +2,14 @@ package replay
 
 import (
 	"math/rand"
+	"sort"
 	"testing"
 	"time"
 
 	"repro/internal/advisor"
 	"repro/internal/cluster"
 	"repro/internal/master"
+	"repro/internal/monitor"
 	"repro/internal/queries"
 	"repro/internal/scaling"
 	"repro/internal/sim"
@@ -25,6 +27,11 @@ type world struct {
 }
 
 func newWorld(t *testing.T, tenants, days int, r int) *world {
+	t.Helper()
+	return newWorldMode(t, tenants, days, r, false)
+}
+
+func newWorldMode(t *testing.T, tenants, days int, r int, sharded bool) *world {
 	t.Helper()
 	cat := queries.Default()
 	lib, err := workload.BuildLibrary(cat, []int{2}, 4, 7)
@@ -55,7 +62,7 @@ func newWorld(t *testing.T, tenants, days int, r int) *world {
 	}
 	eng := sim.NewEngine()
 	pool := cluster.NewPool(10 * plan.NodesUsed())
-	m := master.New(eng, pool, master.Options{Immediate: true})
+	m := master.New(eng, pool, master.Options{Immediate: true, Sharded: sharded})
 	byID := map[string]*tenant.Tenant{}
 	for _, tn := range pop {
 		byID[tn.ID] = tn
@@ -220,5 +227,197 @@ func TestReplayFailureInjection(t *testing.T) {
 	}
 	if rep.FailureEvents[1].Err == "" || rep.FailureEvents[2].Err == "" {
 		t.Error("bad failure specs did not surface errors")
+	}
+}
+
+// canonicalRecords sorts a copy of recs by a total order on the observable
+// fields, so record sets from differently ordered replays compare equal.
+func canonicalRecords(recs []monitor.QueryRecord) []monitor.QueryRecord {
+	out := append([]monitor.QueryRecord(nil), recs...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Submit != b.Submit {
+			return a.Submit < b.Submit
+		}
+		if a.Tenant != b.Tenant {
+			return a.Tenant < b.Tenant
+		}
+		if a.Finish != b.Finish {
+			return a.Finish < b.Finish
+		}
+		if a.Class.ID != b.Class.ID {
+			return a.Class.ID < b.Class.ID
+		}
+		return a.MPPDB < b.MPPDB
+	})
+	return out
+}
+
+func recordsEqual(a, b monitor.QueryRecord) bool {
+	return a.Tenant == b.Tenant && a.Class.ID == b.Class.ID &&
+		a.Submit == b.Submit && a.Finish == b.Finish &&
+		a.SLATarget == b.SLATarget && a.MPPDB == b.MPPDB
+}
+
+func TestReplayParallelBasics(t *testing.T) {
+	w := newWorldMode(t, 10, 2, 3, true)
+	if !w.dep.Sharded() {
+		t.Fatal("deployment not sharded")
+	}
+	rep, err := RunParallel(w.dep, w.cat, w.logs, Options{From: 0, To: sim.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted == 0 {
+		t.Fatal("nothing replayed")
+	}
+	if rep.SubmitErrors != 0 {
+		t.Errorf("%d submit errors", rep.SubmitErrors)
+	}
+	if len(rep.Records) == 0 {
+		t.Fatal("no completed queries")
+	}
+	if got := rep.SLAAttainment(); got < 0.97 {
+		t.Errorf("SLA attainment = %.4f, want ≥ 0.97", got)
+	}
+	for _, g := range w.dep.Groups() {
+		if len(rep.Samples[g.Plan.ID]) == 0 {
+			t.Errorf("no samples for group %s", g.Plan.ID)
+		}
+	}
+	// The merged record stream is globally ordered by submit time.
+	for i := 1; i < len(rep.Records); i++ {
+		if rep.Records[i].Submit < rep.Records[i-1].Submit {
+			t.Fatalf("records not merged by submit time at %d", i)
+		}
+	}
+}
+
+// TestReplayParallelMatchesShared: without scaling or failures every group's
+// trajectory is independent of the others, so the per-group clock domains
+// must produce exactly the records the single shared engine does.
+func TestReplayParallelMatchesShared(t *testing.T) {
+	shared := newWorldMode(t, 10, 2, 3, false)
+	sharded := newWorldMode(t, 10, 2, 3, true)
+	opts := Options{From: 0, To: sim.Day}
+	repShared, err := Run(shared.eng, shared.dep, shared.cat, shared.logs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repPar, err := RunParallel(sharded.dep, sharded.cat, sharded.logs, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if repShared.Submitted != repPar.Submitted {
+		t.Fatalf("submitted: shared %d, parallel %d", repShared.Submitted, repPar.Submitted)
+	}
+	a := canonicalRecords(repShared.Records)
+	b := canonicalRecords(repPar.Records)
+	if len(a) != len(b) {
+		t.Fatalf("records: shared %d, parallel %d", len(a), len(b))
+	}
+	for i := range a {
+		if !recordsEqual(a[i], b[i]) {
+			t.Fatalf("record %d differs:\n shared   %+v\n parallel %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestReplayParallelDeterministic: two identical sharded worlds replayed
+// concurrently yield the same merged record sequence, submit counts and
+// samples — goroutine scheduling must not leak into results.
+func TestReplayParallelDeterministic(t *testing.T) {
+	run := func() (*Report, *master.Deployment) {
+		w := newWorldMode(t, 8, 2, 2, true)
+		rep, err := RunParallel(w.dep, w.cat, w.logs, Options{From: 0, To: sim.Day})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, w.dep
+	}
+	rep1, dep1 := run()
+	rep2, dep2 := run()
+	if rep1.Submitted != rep2.Submitted || rep1.SubmitErrors != rep2.SubmitErrors {
+		t.Fatalf("counters differ: (%d,%d) vs (%d,%d)",
+			rep1.Submitted, rep1.SubmitErrors, rep2.Submitted, rep2.SubmitErrors)
+	}
+	if len(rep1.Records) != len(rep2.Records) {
+		t.Fatalf("records: %d vs %d", len(rep1.Records), len(rep2.Records))
+	}
+	// Merged order itself must be reproducible, not just the multiset.
+	for i := range rep1.Records {
+		if !recordsEqual(rep1.Records[i], rep2.Records[i]) {
+			t.Fatalf("record %d differs:\n run1 %+v\n run2 %+v", i, rep1.Records[i], rep2.Records[i])
+		}
+	}
+	for _, g := range dep1.Groups() {
+		if len(rep1.Samples[g.Plan.ID]) != len(rep2.Samples[g.Plan.ID]) {
+			t.Errorf("sample count differs for %s", g.Plan.ID)
+		}
+	}
+	_ = dep2
+}
+
+// TestReplayModeValidation: each driver rejects the other's deployment mode.
+func TestReplayModeValidation(t *testing.T) {
+	sharded := newWorldMode(t, 4, 1, 2, true)
+	if _, err := Run(sharded.eng, sharded.dep, sharded.cat, sharded.logs,
+		Options{From: 0, To: sim.Day}); err == nil {
+		t.Error("Run accepted a sharded deployment")
+	}
+	shared := newWorldMode(t, 4, 1, 2, false)
+	if _, err := RunParallel(shared.dep, shared.cat, shared.logs,
+		Options{From: 0, To: sim.Day}); err == nil {
+		t.Error("RunParallel accepted a shared deployment")
+	}
+	// Parallel pre-validation mirrors the shared driver's.
+	if _, err := RunParallel(sharded.dep, sharded.cat, sharded.logs, Options{From: sim.Day, To: 0}); err == nil {
+		t.Error("inverted window accepted")
+	}
+	if _, err := RunParallel(sharded.dep, sharded.cat, sharded.logs, Options{From: 0, To: sim.Day,
+		TakeOver: &TakeOver{Tenant: "ghost", ClassID: "TPCH-Q1", Interval: time.Minute}}); err == nil {
+		t.Error("take-over of undeployed tenant accepted")
+	}
+}
+
+// TestReplayParallelFailureInjection: failures are partitioned to their
+// group's domain; bad specs still surface as event errors in the merged
+// report.
+func TestReplayParallelFailureInjection(t *testing.T) {
+	w := newWorldMode(t, 6, 2, 2, true)
+	g := w.dep.Groups()[0]
+	rep, err := RunParallel(w.dep, w.cat, w.logs, Options{
+		From: 0,
+		To:   sim.Day,
+		Failures: []Failure{
+			{At: 2 * sim.Hour, Group: g.Plan.ID, Instance: 0},
+			{At: 3 * sim.Hour, Group: "TG-NOPE", Instance: 0},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.FailureEvents) != 2 {
+		t.Fatalf("%d failure events", len(rep.FailureEvents))
+	}
+	var okEv, badEv *FailureEvent
+	for i := range rep.FailureEvents {
+		if rep.FailureEvents[i].Group == g.Plan.ID {
+			okEv = &rep.FailureEvents[i]
+		} else {
+			badEv = &rep.FailureEvents[i]
+		}
+	}
+	if okEv == nil || badEv == nil {
+		t.Fatalf("events not partitioned: %+v", rep.FailureEvents)
+	}
+	if okEv.Err != "" {
+		t.Fatalf("valid injection failed: %s", okEv.Err)
+	}
+	if got := okEv.RepairedAt.Sub(okEv.At); got != cluster.StartupTime(1) {
+		t.Errorf("repair took %v, want %v", got, cluster.StartupTime(1))
+	}
+	if badEv.Err == "" {
+		t.Error("unknown group did not surface an error")
 	}
 }

@@ -1,0 +1,197 @@
+// Package runtime bundles one deployed tenant-group's execution state — its
+// MPPDB instances, query router, activity monitor, and member tenants —
+// behind a clock domain, and composes the groups into a Plane, the runtime
+// half of a deployment.
+//
+// The paper's architecture (§3–§5) makes tenant-groups independent units of
+// execution: each group has its own MPPDBs, router, monitor, and scaling
+// loop, and nothing crosses group boundaries at query time. GroupRuntime is
+// that unit made explicit. In sharded mode every group owns a private
+// sim.Engine wrapped in a sim.Domain, so submits against different groups
+// proceed fully in parallel; in shared mode all groups sit on one engine
+// behind one domain, preserving the globally ordered event interleaving the
+// experiments (Figs 7.1–7.7) rely on for bit-identical replay.
+package runtime
+
+import (
+	"repro/internal/advisor"
+	"repro/internal/monitor"
+	"repro/internal/mppdb"
+	"repro/internal/queries"
+	"repro/internal/router"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/tenant"
+)
+
+// GroupRuntime is one tenant-group brought up on the cluster. The exported
+// fields are the group's subsystems; they are safe to touch directly only
+// from the engine's single driver (the experiment/replay path) or from
+// inside the group's clock domain. Concurrent callers — the HTTP service —
+// must go through the locked methods below.
+type GroupRuntime struct {
+	Plan      advisor.PlannedGroup
+	Instances []*mppdb.Instance // index 0 is the tuning MPPDB G₀
+	Router    *router.GroupRouter
+	Monitor   *monitor.GroupMonitor
+	Members   []*tenant.Tenant
+
+	dom *sim.Domain
+}
+
+// Bind attaches the group's clock domain. The Deployment Master calls it
+// once, right after constructing the group's subsystems on the domain's
+// engine.
+func (g *GroupRuntime) Bind(dom *sim.Domain) { g.dom = dom }
+
+// Domain returns the group's clock domain. Groups of a shared-mode
+// deployment all return the same domain.
+func (g *GroupRuntime) Domain() *sim.Domain { return g.dom }
+
+// Now returns the group's virtual time without blocking.
+func (g *GroupRuntime) Now() sim.Time { return g.dom.Now() }
+
+// AdvanceTo drives the group's domain up to the target time.
+func (g *GroupRuntime) AdvanceTo(at sim.Time) { g.dom.Advance(at, nil) }
+
+// SubmitAt advances the group to at and routes one query for the tenant
+// through the group's router (TDD Algorithm 1). A non-positive sla falls
+// back to the tenant's isolated latency. It returns the chosen MPPDB's ID.
+func (g *GroupRuntime) SubmitAt(at sim.Time, tenantID string, class *queries.Class, sla sim.Time) (string, error) {
+	var db string
+	var err error
+	g.dom.Advance(at, func(*sim.Engine) {
+		db, err = g.Router.SubmitWithTarget(tenantID, class, sla)
+	})
+	return db, err
+}
+
+// Stats is a point-in-time snapshot of a group's run-time state, safe to
+// read outside the group's clock domain.
+type Stats struct {
+	Group         string
+	Members       int
+	ActiveTenants int
+	RTTTP         float64
+	SLAAttainment float64
+	Routed        int64
+	Overflowed    int64
+	Instances     []mppdb.Snapshot
+}
+
+// snapshot collects Stats; the caller must hold the group's domain.
+func (g *GroupRuntime) snapshot() Stats {
+	st := Stats{
+		Group:         g.Plan.ID,
+		Members:       len(g.Members),
+		ActiveTenants: g.Monitor.ActiveTenants(),
+		RTTTP:         g.Monitor.RTTTP(),
+		SLAAttainment: g.Monitor.SLAAttainment(),
+		Routed:        g.Router.Routed(),
+		Overflowed:    g.Router.Overflowed(),
+	}
+	for _, inst := range g.Instances {
+		st.Instances = append(st.Instances, inst.Snapshot())
+	}
+	return st
+}
+
+// Stats snapshots the group at its current virtual time.
+func (g *GroupRuntime) Stats() Stats {
+	var st Stats
+	g.dom.Do(func(*sim.Engine) { st = g.snapshot() })
+	return st
+}
+
+// StatsAt advances the group to at and snapshots it.
+func (g *GroupRuntime) StatsAt(at sim.Time) Stats {
+	var st Stats
+	g.dom.Advance(at, func(*sim.Engine) { st = g.snapshot() })
+	return st
+}
+
+// RecordsAt advances the group to at and returns a copy of its completed
+// query records.
+func (g *GroupRuntime) RecordsAt(at sim.Time) []monitor.QueryRecord {
+	var out []monitor.QueryRecord
+	g.dom.Advance(at, func(*sim.Engine) {
+		out = append(out, g.Monitor.Records()...)
+	})
+	return out
+}
+
+// Plane is the runtime half of a deployment: the deployed groups, a
+// tenant→group index for O(1) dispatch at the front door, and the deduped
+// set of clock domains driving them.
+type Plane struct {
+	groups  []*GroupRuntime
+	byTen   map[string]*GroupRuntime
+	domains sim.Domains
+	sharded bool
+	hub     *telemetry.Hub
+}
+
+// NewPlane creates an empty plane. sharded records whether groups run on
+// private clock domains (service mode) or share one (experiment mode).
+func NewPlane(hub *telemetry.Hub, sharded bool) *Plane {
+	return &Plane{byTen: make(map[string]*GroupRuntime), sharded: sharded, hub: hub}
+}
+
+// Add registers a bound group: it is indexed by member tenant and its domain
+// joins the plane's domain set (shared domains are deduplicated).
+func (p *Plane) Add(g *GroupRuntime) {
+	p.groups = append(p.groups, g)
+	for _, tn := range g.Members {
+		p.byTen[tn.ID] = g
+	}
+	for _, d := range p.domains {
+		if d == g.dom {
+			return
+		}
+	}
+	p.domains = append(p.domains, g.dom)
+}
+
+// Groups returns the plane's groups in deployment order.
+func (p *Plane) Groups() []*GroupRuntime { return p.groups }
+
+// ForTenant returns the group hosting the tenant.
+func (p *Plane) ForTenant(id string) (*GroupRuntime, bool) {
+	g, ok := p.byTen[id]
+	return g, ok
+}
+
+// Tenants returns the number of indexed tenants.
+func (p *Plane) Tenants() int { return len(p.byTen) }
+
+// Sharded reports whether groups run on private clock domains.
+func (p *Plane) Sharded() bool { return p.sharded }
+
+// Hub returns the plane's telemetry hub.
+func (p *Plane) Hub() *telemetry.Hub { return p.hub }
+
+// Domains returns the plane's distinct clock domains.
+func (p *Plane) Domains() sim.Domains { return p.domains }
+
+// Now returns the most advanced group clock.
+func (p *Plane) Now() sim.Time { return p.domains.Now() }
+
+// AdvanceAll drives every domain up to the target time. Read-side endpoints
+// use it so a scrape reflects everything that should have happened by now.
+func (p *Plane) AdvanceAll(at sim.Time) {
+	for _, d := range p.domains {
+		d.Advance(at, nil)
+	}
+}
+
+// Records returns a copy of all completed query records, concatenated in
+// deployment group order (each group's records in completion order).
+func (p *Plane) Records() []monitor.QueryRecord {
+	var out []monitor.QueryRecord
+	for _, g := range p.groups {
+		g.dom.Do(func(*sim.Engine) {
+			out = append(out, g.Monitor.Records()...)
+		})
+	}
+	return out
+}

@@ -8,9 +8,18 @@
 //
 // The execution substrate is the virtual-time simulator; the service paces
 // it against the wall clock with a configurable time-scale factor (virtual
-// seconds per wall second), advancing the engine on every request. At the
+// seconds per wall second), advancing clocks on every request. At the
 // default 60× scale, a one-minute analytical query completes in one wall
 // second — fast enough to demo, slow enough to watch queries overlap.
+//
+// Concurrency is per tenant-group: the front door resolves a submit to its
+// group in O(1) and takes only that group's clock domain, so submits to
+// different groups of a sharded deployment proceed fully in parallel.
+// There is no global lock on the hot path — the server-wide RWMutex is
+// read-acquired by every handler and write-acquired only when Install swaps
+// in a re-consolidated deployment. Pure-read endpoints (plan, pending) touch
+// no clock domain at all, and the telemetry endpoints read the hub, which is
+// internally synchronized, outside every lock.
 package service
 
 import (
@@ -28,23 +37,33 @@ import (
 	"repro/internal/master"
 	"repro/internal/monitor"
 	"repro/internal/queries"
+	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/sqlmatch"
 )
 
-// Server is the HTTP front end. It serializes all engine access internally,
-// so a single Server is safe for concurrent HTTP traffic.
+// Server is the HTTP front end. A single Server is safe for concurrent HTTP
+// traffic; engine access is serialized per tenant-group by the groups' clock
+// domains.
 type Server struct {
-	mu        sync.Mutex
-	eng       *sim.Engine
-	dep       *master.Deployment
-	cat       *queries.Catalog
-	plan      *advisor.Plan
-	timeScale float64
-	started   time.Time
-	now       func() time.Time // injectable for tests
+	// topo guards the deployment topology: Install swaps dep/plan under the
+	// write lock, every handler works under the read lock.
+	topo sync.RWMutex
+	dep  *master.Deployment
+	plan *advisor.Plan
 
+	cat       *queries.Catalog
+	timeScale float64
+
+	// clockMu guards the wall-clock pacing origin.
+	clockMu sync.Mutex
+	started time.Time
+	now     func() time.Time // injectable for tests
+
+	// pendMu guards pending registrations; they never touch a clock domain.
+	pendMu  sync.Mutex
 	pending []PendingTenant
+
 	matcher *sqlmatch.Matcher
 	mux     *http.ServeMux
 }
@@ -68,10 +87,12 @@ type Config struct {
 	DisableMetrics bool
 }
 
-// New builds a server over a live deployment.
-func New(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
+// New builds a server over a live deployment. The deployment may be shared
+// (all groups on one clock domain) or sharded (a domain per group); the
+// server is oblivious — sharding only widens the parallelism.
+func New(dep *master.Deployment, cat *queries.Catalog,
 	plan *advisor.Plan, cfg Config) (*Server, error) {
-	if eng == nil || dep == nil || cat == nil || plan == nil {
+	if dep == nil || cat == nil || plan == nil {
 		return nil, fmt.Errorf("service: nil dependency")
 	}
 	if cfg.TimeScale == 0 {
@@ -81,7 +102,6 @@ func New(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
 		return nil, fmt.Errorf("service: negative time scale")
 	}
 	s := &Server{
-		eng:       eng,
 		dep:       dep,
 		cat:       cat,
 		plan:      plan,
@@ -114,15 +134,43 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	s.mux.ServeHTTP(w, r)
 }
 
-// advance moves virtual time to match the scaled wall clock. Callers must
-// hold s.mu.
-func (s *Server) advance() sim.Time {
+// target returns the virtual time matching the scaled wall clock — where
+// every group's clock should be by now. Domains never move backwards, so a
+// stale target is harmless.
+func (s *Server) target() sim.Time {
+	s.clockMu.Lock()
 	elapsed := s.now().Sub(s.started).Seconds() * s.timeScale
-	target := sim.Time(elapsed * float64(sim.Second))
-	if target > s.eng.Now() {
-		s.eng.Run(target)
+	s.clockMu.Unlock()
+	return sim.Time(elapsed * float64(sim.Second))
+}
+
+// Install swaps in a re-consolidated deployment and its plan (§3c/§5.1: the
+// periodic cycle re-groups flagged groups and places pending registrations).
+// In-flight requests finish against the old topology; new requests see the
+// new one. The wall-clock pacing origin resets so the fresh deployment's
+// clocks start at zero, and pending registrations placed by the new plan are
+// dropped from the queue.
+func (s *Server) Install(dep *master.Deployment, plan *advisor.Plan) error {
+	if dep == nil || plan == nil {
+		return fmt.Errorf("service: nil deployment or plan")
 	}
-	return s.eng.Now()
+	s.topo.Lock()
+	s.dep = dep
+	s.plan = plan
+	s.topo.Unlock()
+	s.clockMu.Lock()
+	s.started = s.now()
+	s.clockMu.Unlock()
+	s.pendMu.Lock()
+	kept := s.pending[:0]
+	for _, p := range s.pending {
+		if _, placed := dep.GroupFor(p.ID); !placed {
+			kept = append(kept, p)
+		}
+	}
+	s.pending = kept
+	s.pendMu.Unlock()
+	return nil
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -136,9 +184,12 @@ func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	now := s.advance()
-	s.mu.Unlock()
+	t := s.target()
+	s.topo.RLock()
+	plane := s.dep.Plane()
+	plane.AdvanceAll(t)
+	now := plane.Now()
+	s.topo.RUnlock()
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":       "ok",
 		"virtual_time": now.String(),
@@ -160,9 +211,13 @@ func (s *Server) handleCatalog(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
+// handlePlan is a pure read: the plan is immutable once deployed, so no
+// clock domain is touched and no submit is ever blocked.
 func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.topo.RLock()
+	plan := s.plan
+	nodesUsed := s.dep.NodesUsed()
+	s.topo.RUnlock()
 	type group struct {
 		ID        string   `json:"id"`
 		Tenants   []string `json:"tenants"`
@@ -183,21 +238,21 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		Groups         []group    `json:"groups"`
 		Excluded       []exclJSON `json:"excluded,omitempty"`
 	}{
-		Algorithm:      s.plan.Algorithm,
-		R:              s.plan.Config.R,
-		P:              s.plan.Config.P,
-		RequestedNodes: s.plan.RequestedNodes,
-		NodesUsed:      s.plan.NodesUsed(),
-		Effectiveness:  s.plan.Effectiveness(),
+		Algorithm:      plan.Algorithm,
+		R:              plan.Config.R,
+		P:              plan.Config.P,
+		RequestedNodes: plan.RequestedNodes,
+		NodesUsed:      nodesUsed,
+		Effectiveness:  plan.Effectiveness(),
 	}
-	for _, g := range s.plan.Groups {
+	for _, g := range plan.Groups {
 		out.Groups = append(out.Groups, group{
 			ID: g.ID, Tenants: g.TenantIDs,
 			A: g.Design.A, N1: g.Design.N1, U: g.Design.U,
 			Nodes: g.Design.TotalNodes(), TTP: g.TTP, MaxActive: g.MaxActive,
 		})
 	}
-	for _, e := range s.plan.Excluded {
+	for _, e := range plan.Excluded {
 		out.Excluded = append(out.Excluded, exclJSON{e.TenantID, e.Reason, e.Nodes})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -215,6 +270,8 @@ type groupStats struct {
 	ActiveTenants int     `json:"active_tenants"`
 	RTTTP         float64 `json:"rt_ttp"`
 	SLAAttainment float64 `json:"sla_attainment"`
+	Routed        int64   `json:"routed"`
+	Overflowed    int64   `json:"overflowed"`
 	Instances     []struct {
 		ID      string `json:"id"`
 		Nodes   int    `json:"nodes"`
@@ -223,49 +280,51 @@ type groupStats struct {
 	} `json:"instances"`
 }
 
-func (s *Server) groupStats(g *master.DeployedGroup) groupStats {
-	st := groupStats{
-		ID:            g.Plan.ID,
-		Members:       len(g.Members),
-		ActiveTenants: g.Monitor.ActiveTenants(),
-		RTTTP:         g.Monitor.RTTTP(),
-		SLAAttainment: g.Monitor.SLAAttainment(),
+func toGroupStats(st runtime.Stats) groupStats {
+	out := groupStats{
+		ID:            st.Group,
+		Members:       st.Members,
+		ActiveTenants: st.ActiveTenants,
+		RTTTP:         st.RTTTP,
+		SLAAttainment: st.SLAAttainment,
+		Routed:        st.Routed,
+		Overflowed:    st.Overflowed,
 	}
-	for _, inst := range g.Instances {
-		st.Instances = append(st.Instances, struct {
+	for _, inst := range st.Instances {
+		out.Instances = append(out.Instances, struct {
 			ID      string `json:"id"`
 			Nodes   int    `json:"nodes"`
 			State   string `json:"state"`
 			Running int    `json:"running"`
-		}{inst.ID(), inst.Nodes(), inst.State().String(), inst.Running()})
+		}{inst.ID, inst.Nodes, inst.State.String(), inst.Running})
 	}
-	return st
+	return out
 }
 
 func (s *Server) handleGroups(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	s.advance()
+	t := s.target()
+	s.topo.RLock()
 	var out []groupStats
 	for _, g := range s.dep.Groups() {
-		out = append(out, s.groupStats(g))
+		out = append(out, toGroupStats(g.StatsAt(t)))
 	}
-	s.mu.Unlock()
+	s.topo.RUnlock()
 	writeJSON(w, http.StatusOK, out)
 }
 
 func (s *Server) handleGroup(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	s.mu.Lock()
-	s.advance()
+	t := s.target()
+	s.topo.RLock()
 	var found *groupStats
 	for _, g := range s.dep.Groups() {
 		if g.Plan.ID == id {
-			st := s.groupStats(g)
+			st := toGroupStats(g.StatsAt(t))
 			found = &st
 			break
 		}
 	}
-	s.mu.Unlock()
+	s.topo.RUnlock()
 	if found == nil {
 		writeErr(w, http.StatusNotFound, "no group %q", id)
 		return
@@ -314,10 +373,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "missing query or sql")
 		return
 	}
-	s.mu.Lock()
-	now := s.advance()
-	db, err := s.dep.Submit(req.Tenant, class)
-	s.mu.Unlock()
+	// The hot path: resolve the tenant's group in O(1) and take only that
+	// group's clock domain. Submits to other groups do not contend.
+	t := s.target()
+	s.topo.RLock()
+	g, ok := s.dep.GroupFor(req.Tenant)
+	if !ok {
+		s.topo.RUnlock()
+		writeErr(w, http.StatusUnprocessableEntity, "tenant %s not deployed", req.Tenant)
+		return
+	}
+	db, err := g.SubmitAt(t, req.Tenant, class, 0)
+	now := g.Now()
+	s.topo.RUnlock()
 	if err != nil {
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
@@ -333,10 +401,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	tenantFilter := r.URL.Query().Get("tenant")
-	s.mu.Lock()
-	s.advance()
-	recs := s.dep.Records()
-	s.mu.Unlock()
+	t := s.target()
+	s.topo.RLock()
+	var recs []monitor.QueryRecord
+	for _, g := range s.dep.Groups() {
+		recs = append(recs, g.RecordsAt(t)...)
+	}
+	s.topo.RUnlock()
 	type rec struct {
 		Tenant     string  `json:"tenant"`
 		Query      string  `json:"query"`
@@ -373,10 +444,10 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "tenant needs id and nodes ≥ 1")
 		return
 	}
-	s.mu.Lock()
+	s.pendMu.Lock()
 	s.pending = append(s.pending, req)
 	n := len(s.pending)
-	s.mu.Unlock()
+	s.pendMu.Unlock()
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"status":  "pending",
 		"detail":  "tenant will be placed at the next (re)-consolidation cycle",
@@ -385,9 +456,9 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handlePending(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
+	s.pendMu.Lock()
 	out := append([]PendingTenant(nil), s.pending...)
-	s.mu.Unlock()
+	s.pendMu.Unlock()
 	if out == nil {
 		out = []PendingTenant{}
 	}
@@ -396,35 +467,38 @@ func (s *Server) handlePending(w http.ResponseWriter, r *http.Request) {
 
 // Pending returns a copy of the pending tenant registrations.
 func (s *Server) Pending() []PendingTenant {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.pendMu.Lock()
+	defer s.pendMu.Unlock()
 	return append([]PendingTenant(nil), s.pending...)
 }
 
 // SetClock overrides the wall clock (tests drive time deterministically).
 func (s *Server) SetClock(now func() time.Time, started time.Time) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.clockMu.Lock()
+	defer s.clockMu.Unlock()
 	s.now = now
 	s.started = started
 }
 
 // Records exposes the deployment's query records (used by examples).
 func (s *Server) Records() []monitor.QueryRecord {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.dep.Records()
+	s.topo.RLock()
+	defer s.topo.RUnlock()
+	return s.dep.Plane().Records()
 }
 
 // handleMetrics serves the deployment's metrics registry in the Prometheus
 // text exposition format. Virtual time is advanced first so a scrape
-// reflects everything that should have happened by now.
+// reflects everything that should have happened by now; the registry itself
+// is internally synchronized, so it is read outside every lock.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	s.advance()
-	s.mu.Unlock()
+	t := s.target()
+	s.topo.RLock()
+	s.dep.Plane().AdvanceAll(t)
+	hub := s.dep.Telemetry()
+	s.topo.RUnlock()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_ = s.dep.Telemetry().Registry.WritePrometheus(w)
+	_ = hub.Registry.WritePrometheus(w)
 }
 
 // handleEvents returns the most recent SLA events, oldest first. ?n= bounds
@@ -439,9 +513,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	s.mu.Lock()
-	s.advance()
-	s.mu.Unlock()
+	t := s.target()
+	s.topo.RLock()
+	s.dep.Plane().AdvanceAll(t)
+	hub := s.dep.Telemetry()
+	s.topo.RUnlock()
 	type eventJSON struct {
 		Seq    uint64  `json:"seq"`
 		At     string  `json:"at"`
@@ -452,7 +528,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		Value  float64 `json:"value,omitempty"`
 		Detail string  `json:"detail,omitempty"`
 	}
-	events := s.dep.Telemetry().Events.Recent(n)
+	events := hub.Events.Recent(n)
 	out := make([]eventJSON, 0, len(events))
 	for _, ev := range events {
 		out = append(out, eventJSON{
@@ -467,10 +543,11 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 // handleSLO reports per-tenant SLA attainment against the service guarantee
 // P — the externally visible form of the SLA the paper sells.
 func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	s.advance()
-	s.mu.Unlock()
+	t := s.target()
+	s.topo.RLock()
+	s.dep.Plane().AdvanceAll(t)
 	hub := s.dep.Telemetry()
+	s.topo.RUnlock()
 	type tenantJSON struct {
 		Tenant          string  `json:"tenant"`
 		Met             int64   `json:"met"`
@@ -481,11 +558,11 @@ func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 	}
 	rep := hub.SLA.Report()
 	tenants := make([]tenantJSON, 0, len(rep))
-	for _, t := range rep {
+	for _, tn := range rep {
 		tenants = append(tenants, tenantJSON{
-			Tenant: t.Tenant, Met: t.Met, Missed: t.Missed,
-			Attainment: t.Attainment, WorstNormalized: t.WorstNormalized,
-			OK: t.OK,
+			Tenant: tn.Tenant, Met: tn.Met, Missed: tn.Missed,
+			Attainment: tn.Attainment, WorstNormalized: tn.WorstNormalized,
+			OK: tn.OK,
 		})
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
@@ -499,11 +576,14 @@ func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 // query records under the default tariff (§3's pricing model: requested
 // nodes plus active usage). The period defaults to [0, now).
 func (s *Server) handleInvoices(w http.ResponseWriter, r *http.Request) {
-	s.mu.Lock()
-	now := s.advance()
-	recs := s.dep.Records()
+	t := s.target()
+	s.topo.RLock()
+	plane := s.dep.Plane()
+	plane.AdvanceAll(t)
+	now := plane.Now()
+	recs := plane.Records()
 	tenants := s.dep.Tenants()
-	s.mu.Unlock()
+	s.topo.RUnlock()
 	if now <= 0 {
 		writeErr(w, http.StatusUnprocessableEntity, "no metered time yet")
 		return

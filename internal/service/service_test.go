@@ -23,15 +23,13 @@ import (
 	"repro/internal/workload"
 )
 
-// testServer deploys four 2-node tenants and wires the HTTP front end with a
-// manually driven clock.
-func testServer(t *testing.T) (*Server, *httptest.Server, func(d time.Duration)) {
+// deployTenants builds and deploys a plan for 2-node TPC-H tenants with the
+// given IDs (R=2, staggered activity windows).
+func deployTenants(t *testing.T, ids []string, sharded bool) (*master.Deployment, *advisor.Plan) {
 	t.Helper()
-	cat := queries.Default()
 	tenants := map[string]*tenant.Tenant{}
 	var logs []*workload.TenantLog
-	for i := 0; i < 4; i++ {
-		id := "t" + string(rune('1'+i))
+	for i, id := range ids {
 		tn := &tenant.Tenant{ID: id, Nodes: 2, DataGB: 200, Users: 1, Suite: queries.TPCH}
 		tenants[id] = tn
 		w := sim.Time(i) * 6 * sim.Hour
@@ -51,12 +49,27 @@ func testServer(t *testing.T) (*Server, *httptest.Server, func(d time.Duration))
 		t.Fatal(err)
 	}
 	eng := sim.NewEngine()
-	m := master.New(eng, cluster.NewPool(64), master.Options{Immediate: true})
+	m := master.New(eng, cluster.NewPool(64), master.Options{Immediate: true, Sharded: sharded})
 	dep, err := m.Deploy(plan, tenants)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(eng, dep, cat, plan, Config{TimeScale: 60})
+	return dep, plan
+}
+
+// testServer deploys four 2-node tenants and wires the HTTP front end with a
+// manually driven clock.
+func testServer(t *testing.T) (*Server, *httptest.Server, func(d time.Duration)) {
+	t.Helper()
+	return testServerMode(t, false)
+}
+
+// testServerMode is testServer with an explicit clock layout: sharded gives
+// each tenant-group a private clock domain.
+func testServerMode(t *testing.T, sharded bool) (*Server, *httptest.Server, func(d time.Duration)) {
+	t.Helper()
+	dep, plan := deployTenants(t, []string{"t1", "t2", "t3", "t4"}, sharded)
+	srv, err := New(dep, queries.Default(), plan, Config{TimeScale: 60})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +255,7 @@ func TestRegisterTenant(t *testing.T) {
 }
 
 func TestNewValidation(t *testing.T) {
-	if _, err := New(nil, nil, nil, nil, Config{}); err == nil {
+	if _, err := New(nil, nil, nil, Config{}); err == nil {
 		t.Error("nil deps accepted")
 	}
 }
@@ -381,7 +394,7 @@ func TestMetricsEndpoint(t *testing.T) {
 
 func TestMetricsDisabled(t *testing.T) {
 	srv, _, _ := testServer(t)
-	srv2, err := New(srv.eng, srv.dep, srv.cat, srv.plan, Config{TimeScale: 60, DisableMetrics: true})
+	srv2, err := New(srv.dep, srv.cat, srv.plan, Config{TimeScale: 60, DisableMetrics: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -530,5 +543,143 @@ func TestConcurrentSubmitsAndScrapes(t *testing.T) {
 	get(t, ts, "/v1/records", &recs)
 	if len(recs) != 80 {
 		t.Errorf("%d records, want 80", len(recs))
+	}
+}
+
+// TestShardedConcurrentSubmits runs the same hammer against a sharded
+// deployment: every group has a private clock domain, so submits to
+// different groups serialize only on their own shard (run with -race).
+func TestShardedConcurrentSubmits(t *testing.T) {
+	srv, ts, tick := testServerMode(t, true)
+	if !srv.dep.Sharded() {
+		t.Fatal("deployment not sharded")
+	}
+	if n := len(srv.dep.Plane().Domains()); n != len(srv.dep.Groups()) {
+		t.Fatalf("%d domains for %d groups", n, len(srv.dep.Groups()))
+	}
+	tenants := []string{"t1", "t2", "t3", "t4"}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				var out map[string]any
+				code := post(t, ts, "/v1/queries",
+					SubmitRequest{Tenant: tenants[(g+i)%len(tenants)], Query: "TPCH-Q6"}, &out)
+				if code != http.StatusAccepted {
+					t.Errorf("submit status %d: %v", code, out)
+				}
+			}
+		}(g)
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				if code := get(t, ts, "/v1/groups", nil); code != 200 {
+					t.Errorf("groups status %d", code)
+				}
+				if code := get(t, ts, "/v1/slo", nil); code != 200 {
+					t.Errorf("slo status %d", code)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	tick(time.Minute)
+	var recs []map[string]any
+	get(t, ts, "/v1/records", &recs)
+	if len(recs) != 80 {
+		t.Errorf("%d records, want 80", len(recs))
+	}
+}
+
+// TestShardedEndpoints smoke-tests the read endpoints against a sharded
+// deployment (per-group domains behind the same HTTP surface).
+func TestShardedEndpoints(t *testing.T) {
+	_, ts, tick := testServerMode(t, true)
+	if code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", Query: "TPCH-Q6"}, nil); code != http.StatusAccepted {
+		t.Fatalf("submit status %d", code)
+	}
+	tick(time.Minute)
+	var groups []groupStats
+	if code := get(t, ts, "/v1/groups", &groups); code != 200 || len(groups) == 0 {
+		t.Fatalf("groups status %d (%d groups)", code, len(groups))
+	}
+	var routed int64
+	for _, g := range groups {
+		routed += g.Routed
+	}
+	if routed != 1 {
+		t.Errorf("routed = %d, want 1", routed)
+	}
+	var h map[string]any
+	get(t, ts, "/healthz", &h)
+	if h["virtual_time"] != "0d01:00:00.000" {
+		t.Errorf("virtual time = %v", h["virtual_time"])
+	}
+	var recs []map[string]any
+	get(t, ts, "/v1/records", &recs)
+	if len(recs) != 1 {
+		t.Errorf("%d records", len(recs))
+	}
+}
+
+// TestInstallReconsolidation covers the register → cycle → query flow
+// through sharded deployments: a pending tenant is picked up by a new plan,
+// the re-consolidated deployment is installed, and the tenant's queries
+// route to its new group's shard.
+func TestInstallReconsolidation(t *testing.T) {
+	srv, ts, tick := testServerMode(t, true)
+	if code := post(t, ts, "/v1/tenants", PendingTenant{ID: "t9", Nodes: 2, Suite: "TPC-H"}, nil); code != http.StatusAccepted {
+		t.Fatalf("register status %d", code)
+	}
+	// Not deployed yet: submits are rejected until the next cycle.
+	if code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t9", Query: "TPCH-Q6"}, nil); code != http.StatusUnprocessableEntity {
+		t.Fatalf("pre-cycle submit status %d, want 422", code)
+	}
+	// The (re)-consolidation cycle: a fresh plan over the old population
+	// plus the pending registration, deployed into new shards.
+	dep2, plan2 := deployTenants(t, []string{"t1", "t2", "t3", "t4", "t9"}, true)
+	if err := srv.Install(dep2, plan2); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Pending(); len(got) != 0 {
+		t.Errorf("pending after install = %+v", got)
+	}
+	var acc map[string]any
+	if code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t9", Query: "TPCH-Q6"}, &acc); code != http.StatusAccepted {
+		t.Fatalf("post-cycle submit status %d: %v", code, acc)
+	}
+	if !strings.HasPrefix(acc["routed_to"].(string), "TG-") {
+		t.Errorf("routed_to = %v", acc["routed_to"])
+	}
+	// The query went through the new deployment's shard.
+	g, ok := dep2.GroupFor("t9")
+	if !ok {
+		t.Fatal("t9 not in new deployment")
+	}
+	if st := g.Stats(); st.Routed != 1 {
+		t.Errorf("new shard routed %d queries, want 1", st.Routed)
+	}
+	// Old tenants keep working, and the record surfaces over HTTP.
+	if code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", Query: "TPCH-Q6"}, nil); code != http.StatusAccepted {
+		t.Fatal("old tenant broken after install")
+	}
+	tick(time.Minute)
+	var recs []map[string]any
+	get(t, ts, "/v1/records?tenant=t9", &recs)
+	if len(recs) != 1 {
+		t.Errorf("t9 records = %d, want 1", len(recs))
+	}
+}
+
+// TestInstallValidation rejects nil swaps.
+func TestInstallValidation(t *testing.T) {
+	srv, _, _ := testServer(t)
+	if err := srv.Install(nil, nil); err == nil {
+		t.Error("nil install accepted")
 	}
 }

@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDomainAdvanceRunsDueEventsAndBumpsClock(t *testing.T) {
+	eng := NewEngine()
+	d := NewDomain(eng)
+	var fired []Time
+	eng.Schedule(2*Second, func(now Time) { fired = append(fired, now) })
+	eng.Schedule(5*Second, func(now Time) { fired = append(fired, now) })
+	eng.Schedule(9*Second, func(now Time) { fired = append(fired, now) })
+
+	d.Advance(6*Second, nil)
+	if len(fired) != 2 || fired[0] != 2*Second || fired[1] != 5*Second {
+		t.Fatalf("fired = %v", fired)
+	}
+	if d.Now() != 6*Second {
+		t.Errorf("Now = %v, want 6s", d.Now())
+	}
+	// Advancing backwards is a no-op, not a rewind.
+	d.Advance(3*Second, nil)
+	if d.Now() != 6*Second {
+		t.Errorf("Now after backwards advance = %v", d.Now())
+	}
+	d.Advance(20*Second, nil)
+	if len(fired) != 3 || d.Now() != 20*Second {
+		t.Errorf("fired = %v, Now = %v", fired, d.Now())
+	}
+}
+
+func TestDomainAdvanceRunsFnAtTarget(t *testing.T) {
+	eng := NewEngine()
+	d := NewDomain(eng)
+	var at Time
+	d.Advance(4*Second, func(e *Engine) { at = e.Now() })
+	if at != 4*Second {
+		t.Errorf("fn saw %v, want 4s", at)
+	}
+	// Events scheduled by fn fire on the next Advance.
+	var fired bool
+	d.Advance(4*Second, func(e *Engine) {
+		e.After(time.Second, func(Time) { fired = true })
+	})
+	d.Advance(5*Second, nil)
+	if !fired {
+		t.Error("event scheduled inside fn did not fire")
+	}
+}
+
+func TestDomainNowIsFreshDuringSteps(t *testing.T) {
+	// The mirror must be updated before each event executes so code inside a
+	// callback that consults another clock (e.g. the telemetry hub reading a
+	// Domains set) sees this domain at the event's own timestamp.
+	eng := NewEngine()
+	d := NewDomain(eng)
+	var seen Time
+	eng.Schedule(7*Second, func(Time) { seen = d.Now() })
+	d.Advance(10*Second, nil)
+	if seen != 7*Second {
+		t.Errorf("callback saw mirror at %v, want 7s", seen)
+	}
+}
+
+func TestDomainConcurrentDrivers(t *testing.T) {
+	// Many goroutines advancing and scheduling on one domain must serialize
+	// cleanly (run with -race) and execute every event exactly once.
+	eng := NewEngine()
+	d := NewDomain(eng)
+	var mu sync.Mutex
+	count := 0
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				target := Time(g*50+i+1) * Millisecond
+				d.Advance(target, func(e *Engine) {
+					e.After(time.Millisecond, func(Time) {
+						mu.Lock()
+						count++
+						mu.Unlock()
+					})
+				})
+			}
+		}(g)
+	}
+	wg.Wait()
+	d.Advance(Hour, nil)
+	if count != 400 {
+		t.Errorf("executed %d events, want 400", count)
+	}
+}
+
+func TestDomainsClockReportsMax(t *testing.T) {
+	a, b := NewDomain(NewEngine()), NewDomain(NewEngine())
+	set := Domains{a, b}
+	if set.Now() != 0 {
+		t.Errorf("empty clocks Now = %v", set.Now())
+	}
+	a.Advance(3*Second, nil)
+	b.Advance(8*Second, nil)
+	if set.Now() != 8*Second {
+		t.Errorf("Now = %v, want 8s", set.Now())
+	}
+	if (Domains{}).Now() != 0 {
+		t.Error("no-member clock should read 0")
+	}
+}
+
+func TestEngineNextAt(t *testing.T) {
+	eng := NewEngine()
+	if _, ok := eng.NextAt(); ok {
+		t.Error("empty engine reported a pending event")
+	}
+	ev := eng.Schedule(4*Second, func(Time) {})
+	eng.Schedule(6*Second, func(Time) {})
+	if at, ok := eng.NextAt(); !ok || at != 4*Second {
+		t.Errorf("NextAt = %v,%v", at, ok)
+	}
+	eng.Cancel(ev)
+	if at, ok := eng.NextAt(); !ok || at != 6*Second {
+		t.Errorf("NextAt after cancel = %v,%v", at, ok)
+	}
+}

@@ -104,6 +104,17 @@ func (e *Engine) Steps() uint64 { return e.nsteps }
 // canceled events that have not yet been discarded).
 func (e *Engine) Pending() int { return e.queue.Len() }
 
+// NextAt reports the fire time of the earliest pending (non-canceled) event.
+// Clock-domain drivers use it to step an engine event-by-event while keeping
+// a lock-free mirror of the clock fresh for concurrent readers.
+func (e *Engine) NextAt() (Time, bool) {
+	ev := e.peek()
+	if ev == nil {
+		return 0, false
+	}
+	return ev.at, true
+}
+
 // Schedule registers fn to run at the absolute virtual time at. Scheduling in
 // the past panics: it always indicates a logic error in the caller, and
 // silently clamping would hide it.

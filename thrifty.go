@@ -178,6 +178,12 @@ type DeployOptions struct {
 	ParallelLoad bool
 	// MonitorWindow is the RT-TTP window (default 24 h).
 	MonitorWindow time.Duration
+	// Sharded gives each tenant-group a private engine and clock domain:
+	// the service path handles submits to different groups fully in
+	// parallel, and Replay drives groups concurrently. Leave false for
+	// experiments — the shared domain keeps event interleaving globally
+	// ordered, so same-seed runs are byte-identical.
+	Sharded bool
 }
 
 // Deploy brings the plan up on a fresh simulated cluster.
@@ -191,6 +197,7 @@ func Deploy(w *Workload, plan *Plan, opts DeployOptions) (*System, error) {
 		Immediate:     opts.Immediate,
 		ParallelLoad:  opts.ParallelLoad,
 		MonitorWindow: opts.MonitorWindow,
+		Sharded:       opts.Sharded,
 	})
 	dep, err := m.Deploy(plan, w.Tenants())
 	if err != nil {
@@ -215,8 +222,14 @@ type ScalerConfig = scaling.Config
 // guarantee and replication factor.
 func DefaultScalerConfig(p float64, r int) ScalerConfig { return scaling.DefaultConfig(p, r) }
 
-// Replay drives the system with its workload's logged queries.
+// Replay drives the system with its workload's logged queries. A shared
+// deployment is driven on its one engine (deterministic, byte-identical per
+// seed); a sharded one replays every tenant-group in parallel on its own
+// clock domain with a deterministic merge of the resulting records.
 func (s *System) Replay(opts ReplayOptions) (*ReplayReport, error) {
+	if s.Deployment.Sharded() {
+		return replay.RunParallel(s.Deployment, s.Workload.Catalog, s.Workload.Logs, opts)
+	}
 	return replay.Run(s.Engine, s.Deployment, s.Workload.Catalog, s.Workload.Logs, opts)
 }
 
@@ -228,9 +241,11 @@ type ServeOptions struct {
 	DisableMetrics bool
 }
 
-// Handler returns the MPPDBaaS HTTP API over the system.
+// Handler returns the MPPDBaaS HTTP API over the system. Deploy with
+// Sharded for a front end whose submits to different tenant-groups proceed
+// in parallel.
 func (s *System) Handler(opts ServeOptions) (http.Handler, error) {
-	return service.New(s.Engine, s.Deployment, s.Workload.Catalog, s.Plan,
+	return service.New(s.Deployment, s.Workload.Catalog, s.Plan,
 		service.Config{TimeScale: opts.TimeScale, DisableMetrics: opts.DisableMetrics})
 }
 
