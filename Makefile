@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race chaos-smoke bench
 
-# The full pre-commit gate: static checks, build, and the race-enabled suite.
-check: vet build race
+# The full pre-commit gate: static checks, build, the bounded chaos smoke,
+# and the race-enabled suite.
+check: vet build chaos-smoke race
 
 vet:
 	$(GO) vet ./...
@@ -16,6 +17,12 @@ test:
 
 race:
 	$(GO) test -race ./...
+
+# Bounded failure-injection smoke: a small sharded deployment under the
+# chaos harness with the race detector on (~1 s), exercising parallel
+# injection, heartbeat detection, and autonomous recovery end to end.
+chaos-smoke:
+	$(GO) test -race -short -run TestChaosSmoke ./internal/recovery/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem

@@ -50,6 +50,11 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		metrics   = flag.Bool("metrics", true, "expose Prometheus text metrics at /metrics")
 		sharded   = flag.Bool("sharded", true, "per-group clock domains: submits to different tenant-groups proceed in parallel")
+		recovery  = flag.Bool("recovery", true, "arm an autonomous recovery controller per tenant-group (heartbeat failure detection, pool swap, Table 5.1 reload)")
+
+		submitRetries = flag.Int("submit-retries", 3, "retries of a transiently failed submit before 504 (negative disables)")
+		submitBackoff = flag.Duration("submit-backoff", 30*time.Second, "virtual-time wait between submit attempts")
+		submitTimeout = flag.Duration("submit-timeout", 5*time.Minute, "virtual-time budget per submit before 504")
 	)
 	flag.Parse()
 
@@ -77,16 +82,27 @@ func main() {
 		len(plan.Groups), plan.NodesUsed(), plan.RequestedNodes,
 		100*plan.Effectiveness(), time.Since(start).Round(time.Millisecond))
 
-	sys, err := thrifty.Deploy(w, plan, thrifty.DeployOptions{
+	dopts := thrifty.DeployOptions{
 		Immediate:    true,
 		ParallelLoad: true,
 		SpareNodes:   64,
 		Sharded:      *sharded,
-	})
+	}
+	if *recovery {
+		rcfg := thrifty.DefaultRecoveryConfig()
+		dopts.Recovery = &rcfg
+	}
+	sys, err := thrifty.Deploy(w, plan, dopts)
 	if err != nil {
 		fatal("%v", err)
 	}
-	h, err := sys.Handler(thrifty.ServeOptions{TimeScale: *timeScale, DisableMetrics: !*metrics})
+	h, err := sys.Handler(thrifty.ServeOptions{
+		TimeScale:      *timeScale,
+		DisableMetrics: !*metrics,
+		SubmitRetries:  *submitRetries,
+		SubmitBackoff:  *submitBackoff,
+		SubmitTimeout:  *submitTimeout,
+	})
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -98,8 +114,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v)\n",
-		*addr, *timeScale, *metrics, *sharded)
+	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v, recovery %v)\n",
+		*addr, *timeScale, *metrics, *sharded, *recovery)
 
 	select {
 	case err := <-errc:

@@ -28,6 +28,10 @@ const (
 	Active
 	// Failed nodes have crashed and await replacement.
 	Failed
+	// Repairing nodes were swapped out of their instance and are being
+	// carted away and re-imaged (§4.4); they become Hibernated — and thus
+	// acquirable again — only after ReimageTime.
+	Repairing
 )
 
 // String returns the state name.
@@ -39,6 +43,8 @@ func (s NodeState) String() string {
 		return "active"
 	case Failed:
 		return "failed"
+	case Repairing:
+		return "repairing"
 	default:
 		return fmt.Sprintf("NodeState(%d)", int(s))
 	}
@@ -152,8 +158,10 @@ func (p *Pool) Fail(id int) (string, error) {
 
 // Replace swaps a failed node for a fresh hibernated one on behalf of the
 // same owner (§4.4: "Thrifty will replace a failed node by starting a new
-// node upon receiving node failure notification"). It returns the
-// replacement node.
+// node upon receiving node failure notification"). The failed node enters
+// the Repairing state — carted away and re-imaged — and only re-joins the
+// hibernated free list when the caller invokes Reimage after ReimageTime.
+// Replace fails without side effects when no hibernated node is free.
 func (p *Pool) Replace(id int) (*Node, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -168,9 +176,53 @@ func (p *Pool) Replace(id int) (*Node, error) {
 	if err != nil {
 		return nil, err
 	}
-	failed.State = Hibernated // carted away and re-imaged
+	failed.State = Repairing
 	failed.Owner = ""
 	return repl[0], nil
+}
+
+// Reimage completes a repairing node's re-image: it becomes Hibernated and
+// acquirable again. Callers schedule it ReimageTime after Replace.
+func (p *Pool) Reimage(id int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if id < 0 || id >= len(p.nodes) {
+		return fmt.Errorf("cluster: no node %d", id)
+	}
+	nd := p.nodes[id]
+	if nd.State != Repairing {
+		return fmt.Errorf("cluster: node %d is %v, not repairing", id, nd.State)
+	}
+	nd.State = Hibernated
+	return nil
+}
+
+// FailedNodesOf returns the IDs of owner's failed nodes, ascending.
+func (p *Pool) FailedNodesOf(owner string) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []int
+	for _, nd := range p.nodes {
+		if nd.State == Failed && nd.Owner == owner {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// FailAny fails owner's lowest-ID active node and returns its ID — the
+// pool-side half of a node-failure injection (the instance side is
+// mppdb.FailNode).
+func (p *Pool) FailAny(owner string) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, nd := range p.nodes {
+		if nd.State == Active && nd.Owner == owner {
+			nd.State = Failed
+			return nd.ID, nil
+		}
+	}
+	return -1, fmt.Errorf("cluster: owner %q has no active node", owner)
 }
 
 // Owners returns the distinct owner IDs with at least one active node,
@@ -205,7 +257,17 @@ const (
 	startupPerNode = 164 * time.Second
 	loadSecPerGB   = 50.4
 	loadFixed      = 60 * time.Second
+	// reimageTime is how long a swapped-out node spends being carted away
+	// and re-imaged before it can hibernate in the free list again. The
+	// thesis gives no measurement; re-writing a machine image is of the same
+	// order as starting + initializing one node, so we model it at twice the
+	// single-node startup cost.
+	reimageTime = 2 * (startupFixed + startupPerNode)
 )
+
+// ReimageTime returns the modeled time to re-image a swapped-out node before
+// it becomes acquirable again.
+func ReimageTime() time.Duration { return reimageTime }
 
 // StartupTime returns the modeled time to start n machine nodes and
 // initialize an MPPDB instance across them.

@@ -61,9 +61,18 @@ func TestPoolFailAndReplace(t *testing.T) {
 	if repl.Owner != "db" || repl.State != Active {
 		t.Errorf("replacement: %+v", repl)
 	}
-	// The failed node returns to the pool as hibernated.
-	if p.CountState(Failed) != 0 || p.CountState(Active) != 3 {
-		t.Errorf("after replace: failed=%d active=%d", p.CountState(Failed), p.CountState(Active))
+	// The failed node is carted away for re-imaging, not instantly recycled.
+	if p.CountState(Failed) != 0 || p.CountState(Active) != 3 || p.CountState(Repairing) != 1 {
+		t.Errorf("after replace: failed=%d active=%d repairing=%d",
+			p.CountState(Failed), p.CountState(Active), p.CountState(Repairing))
+	}
+	// Only Reimage returns it to the hibernated free list.
+	if err := p.Reimage(nodes[1].ID); err != nil {
+		t.Fatal(err)
+	}
+	if p.CountState(Repairing) != 0 || p.CountState(Hibernated) != 2 {
+		t.Errorf("after reimage: repairing=%d hib=%d",
+			p.CountState(Repairing), p.CountState(Hibernated))
 	}
 	// Error paths.
 	if _, err := p.Fail(99); err == nil {
@@ -77,6 +86,73 @@ func TestPoolFailAndReplace(t *testing.T) {
 	}
 	if _, err := p.Replace(-1); err == nil {
 		t.Error("replacing unknown node accepted")
+	}
+	if err := p.Reimage(nodes[0].ID); err == nil {
+		t.Error("re-imaging non-repairing node accepted")
+	}
+	if err := p.Reimage(42); err == nil {
+		t.Error("re-imaging unknown node accepted")
+	}
+}
+
+func TestPoolReplaceExhaustion(t *testing.T) {
+	p := NewPool(2)
+	nodes, _ := p.Acquire("db", 2)
+	if _, err := p.Fail(nodes[0].ID); err != nil {
+		t.Fatal(err)
+	}
+	// No hibernated node is free: Replace must fail without side effects —
+	// the failed node stays Failed (not consumed into Repairing).
+	if _, err := p.Replace(nodes[0].ID); err == nil {
+		t.Fatal("replace succeeded on an exhausted pool")
+	}
+	if p.CountState(Failed) != 1 || p.CountState(Repairing) != 0 {
+		t.Errorf("exhausted replace left failed=%d repairing=%d",
+			p.CountState(Failed), p.CountState(Repairing))
+	}
+}
+
+func TestFailedNodesOfAndFailAny(t *testing.T) {
+	p := NewPool(8)
+	p.Acquire("a", 3)
+	p.Acquire("b", 2)
+	if got := p.FailedNodesOf("a"); len(got) != 0 {
+		t.Errorf("fresh FailedNodesOf = %v", got)
+	}
+	id, err := p.FailAny("a")
+	if err != nil || id != 0 {
+		t.Fatalf("FailAny(a) = %d, %v; want lowest active ID 0", id, err)
+	}
+	id2, err := p.FailAny("a")
+	if err != nil || id2 != 1 {
+		t.Fatalf("second FailAny(a) = %d, %v; want 1", id2, err)
+	}
+	if got := p.FailedNodesOf("a"); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Errorf("FailedNodesOf(a) = %v, want [0 1]", got)
+	}
+	if got := p.FailedNodesOf("b"); len(got) != 0 {
+		t.Errorf("FailedNodesOf(b) = %v, want none", got)
+	}
+	if _, err := p.FailAny("nobody"); err == nil {
+		t.Error("FailAny of unknown owner accepted")
+	}
+	// Exhaust a's active nodes, then FailAny must error.
+	if _, err := p.FailAny("a"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.FailAny("a"); err == nil {
+		t.Error("FailAny with no active nodes accepted")
+	}
+}
+
+func TestReimageTime(t *testing.T) {
+	if ReimageTime() <= 0 {
+		t.Error("ReimageTime not positive")
+	}
+	// Re-imaging is an offline background chore; it must not be cheaper than
+	// starting the single replacement node, or the state would be pointless.
+	if ReimageTime() < StartupTime(1) {
+		t.Error("ReimageTime cheaper than single-node startup")
 	}
 }
 
@@ -155,7 +231,8 @@ func TestProvisionTime(t *testing.T) {
 }
 
 func TestNodeStateString(t *testing.T) {
-	if Hibernated.String() != "hibernated" || Active.String() != "active" || Failed.String() != "failed" {
+	if Hibernated.String() != "hibernated" || Active.String() != "active" ||
+		Failed.String() != "failed" || Repairing.String() != "repairing" {
 		t.Error("state names wrong")
 	}
 	if NodeState(9).String() == "" {

@@ -21,6 +21,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/mppdb"
 	"repro/internal/queries"
+	"repro/internal/recovery"
 	"repro/internal/router"
 	"repro/internal/runtime"
 	"repro/internal/scaling"
@@ -47,6 +48,10 @@ type Options struct {
 	// one shared domain over the master's engine — keeps event interleaving
 	// globally ordered for bit-identical experiment replay.
 	Sharded bool
+	// Recovery, when non-nil, arms an autonomous failure-recovery controller
+	// (§4.4) per group with this config. The service path sets it; replay
+	// arms controllers itself when failures are injected.
+	Recovery *recovery.Config
 }
 
 // DefaultOptions returns the thesis' run-time settings.
@@ -168,6 +173,16 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 		g.Monitor = mon
 		g.Router = rt
 		g.Bind(domains[gi])
+		g.SetTelemetry(tel)
+		if m.opts.Recovery != nil {
+			rc, err := recovery.New(eng, m.pool, pg.ID, g.Instances, *m.opts.Recovery)
+			if err != nil {
+				return nil, err
+			}
+			rc.SetTelemetry(tel)
+			rc.Start()
+			g.Recovery = rc
+		}
 		dep.plane.Add(g)
 		dep.ready[pg.ID] = readyAt
 	}

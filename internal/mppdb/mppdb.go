@@ -275,6 +275,12 @@ func (m *Instance) speed() float64 {
 	return float64(m.nodes-m.failedNodes) / float64(m.nodes)
 }
 
+// SpeedFactor returns the instance's current progress rate: 1.0 healthy,
+// (nodes-failed)/nodes degraded. Query latency scales by exactly its inverse
+// while the instance is otherwise idle (§4.4: the MPPDB "can still stay
+// online even with some node failure", just slower).
+func (m *Instance) SpeedFactor() float64 { return m.speed() }
+
 // IsolatedLatency returns the latency the query class would see on this
 // instance, alone and healthy, for the given tenant's data.
 func (m *Instance) IsolatedLatency(tenant string, class *queries.Class) (sim.Time, error) {

@@ -1,0 +1,358 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/mppdb"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// rig is one instrumented group: a 2-node instance holding 10 GB, its pool
+// nodes acquired, a started controller, and a telemetry hub.
+type rig struct {
+	eng  *sim.Engine
+	pool *cluster.Pool
+	inst *mppdb.Instance
+	ctl  *Controller
+	hub  *telemetry.Hub
+}
+
+func newRig(t *testing.T, poolSize int, cfg Config) *rig {
+	t.Helper()
+	eng := sim.NewEngine()
+	pool := cluster.NewPool(poolSize)
+	inst := mppdb.New(eng, "g0-db0", 2)
+	inst.DeployTenant("T0", 10)
+	if _, err := pool.Acquire(inst.ID(), 2); err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(eng, pool, "g0", []*mppdb.Instance{inst}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hub := telemetry.NewHub(eng, 0.999)
+	ctl.SetTelemetry(hub)
+	ctl.Start()
+	return &rig{eng: eng, pool: pool, inst: inst, ctl: ctl, hub: hub}
+}
+
+// crash fails one node at the instance and the pool, like the replay injector.
+func (r *rig) crash(t *testing.T, at sim.Time) {
+	t.Helper()
+	r.eng.Schedule(at, func(sim.Time) {
+		if err := r.inst.FailNode(); err != nil {
+			t.Errorf("FailNode: %v", err)
+			return
+		}
+		if _, err := r.pool.FailAny(r.inst.ID()); err != nil {
+			t.Errorf("FailAny: %v", err)
+		}
+	})
+}
+
+func countEvents(hub *telemetry.Hub, typ telemetry.EventType) int {
+	n := 0
+	for _, ev := range hub.Events.Recent(0) {
+		if ev.Type == typ {
+			n++
+		}
+	}
+	return n
+}
+
+func TestDetectAndRecover(t *testing.T) {
+	cfg := DefaultConfig()
+	r := newRig(t, 3, cfg) // one spare
+	r.crash(t, 100*sim.Second)
+	r.eng.Run(2 * sim.Day)
+
+	evs := r.ctl.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d recovery events, want 1", len(evs))
+	}
+	ev := evs[0]
+	// The heartbeat grid is 30 s; a crash at t=100 is noticed at t=120.
+	if ev.Detected != 120*sim.Second {
+		t.Errorf("Detected = %v, want 120s (next heartbeat)", ev.Detected)
+	}
+	if ev.Replaced != ev.Detected {
+		t.Errorf("Replaced = %v, want immediate (pool has a spare)", ev.Replaced)
+	}
+	// Table 5.1: single-node startup + single-stream reload of this node's
+	// data share (10 GB / 2 nodes).
+	wantDelay := cluster.StartupTime(1) + cluster.LoadTime(5, 1, false)
+	if got := ev.Completed - ev.Replaced; got != sim.Duration(wantDelay) {
+		t.Errorf("reload took %v, want StartupTime(1)+LoadTime(5GB) = %v", got, wantDelay)
+	}
+	if ev.Attempts != 1 || ev.ExhaustedCycles != 0 || ev.Err != "" {
+		t.Errorf("lifecycle bookkeeping: %+v", ev)
+	}
+	if ev.FailedNode != 0 || ev.ReplacementNode != 2 {
+		t.Errorf("node IDs: failed=%d replacement=%d, want 0 and 2", ev.FailedNode, ev.ReplacementNode)
+	}
+	if r.inst.FailedNodes() != 0 || r.inst.SpeedFactor() != 1.0 {
+		t.Errorf("instance not restored: failed=%d speed=%v", r.inst.FailedNodes(), r.inst.SpeedFactor())
+	}
+	// The swapped-out node was re-imaged back into the free list; no node
+	// leaked (2 active for the instance, 1 hibernated spare).
+	if a, h, f, rp := r.pool.CountState(cluster.Active), r.pool.CountState(cluster.Hibernated),
+		r.pool.CountState(cluster.Failed), r.pool.CountState(cluster.Repairing); a != 2 || h != 1 || f != 0 || rp != 0 {
+		t.Errorf("pool leaked: active=%d hib=%d failed=%d repairing=%d", a, h, f, rp)
+	}
+	if r.ctl.InProgress() != 0 {
+		t.Errorf("InProgress = %d after completion", r.ctl.InProgress())
+	}
+	// Telemetry: the full started→replaced→completed event trail and the
+	// duration histogram.
+	for _, typ := range []telemetry.EventType{
+		telemetry.EventRecoveryStarted, telemetry.EventRecoveryReplaced, telemetry.EventRecoveryCompleted,
+	} {
+		if n := countEvents(r.hub, typ); n != 1 {
+			t.Errorf("%d %s events, want 1", n, typ)
+		}
+	}
+	if got := r.hub.Registry.Counter("thrifty_recovery_completed_total", "group", "g0").Value(); got != 1 {
+		t.Errorf("completed counter = %d", got)
+	}
+	if got := r.hub.Registry.Histogram("thrifty_recovery_duration_seconds",
+		nil, "group", "g0").Count(); got != 1 {
+		t.Errorf("duration histogram count = %d", got)
+	}
+}
+
+// TestRepeatCrashDuringRecovery: a second node of a 3-node instance fails
+// while the first recovery is mid-reload; the sweep notices the extra failure
+// and both lifecycles complete.
+func TestRepeatCrashDuringRecovery(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := cluster.NewPool(6)
+	inst := mppdb.New(eng, "g0-db0", 3)
+	inst.DeployTenant("T0", 12)
+	if _, err := pool.Acquire(inst.ID(), 3); err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(eng, pool, "g0", []*mppdb.Instance{inst}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	crash := func(at sim.Time) {
+		eng.Schedule(at, func(sim.Time) {
+			if err := inst.FailNode(); err != nil {
+				t.Errorf("FailNode: %v", err)
+				return
+			}
+			if _, err := pool.FailAny(inst.ID()); err != nil {
+				t.Errorf("FailAny: %v", err)
+			}
+		})
+	}
+	crash(100 * sim.Second)
+	crash(200 * sim.Second) // first recovery still reloading (≫100 s)
+	eng.Run(2 * sim.Day)
+
+	evs := ctl.Events()
+	if len(evs) != 2 {
+		t.Fatalf("%d recovery events, want 2", len(evs))
+	}
+	for i, ev := range evs {
+		if !ev.Recovered() {
+			t.Errorf("event %d not recovered: %+v", i, ev)
+		}
+	}
+	if evs[1].Detected != 210*sim.Second {
+		t.Errorf("second detection at %v, want 210s", evs[1].Detected)
+	}
+	if inst.FailedNodes() != 0 {
+		t.Errorf("instance left with %d failed nodes", inst.FailedNodes())
+	}
+	if a := pool.CountState(cluster.Active); a != 3 {
+		t.Errorf("active nodes = %d, want 3", a)
+	}
+}
+
+// TestPoolExhaustionBacksOff: with no free node, the controller retries with
+// exponential backoff, exhausts the cycle, cools down — and succeeds once
+// capacity appears. The clock domain never deadlocks (Run simply returns).
+func TestPoolExhaustionBacksOff(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxAttempts = 3
+	cfg.CoolDown = 30 * time.Minute
+	r := newRig(t, 2, cfg) // pool exactly covers the instance: no spare
+	r.crash(t, 100*sim.Second)
+	// First cycle: attempts at 120 s, +1 min, +2 min — all exhausted.
+	r.eng.Run(20 * sim.Minute)
+
+	evs := r.ctl.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d recovery events, want 1", len(evs))
+	}
+	if evs[0].Recovered() || evs[0].ExhaustedCycles != 1 || evs[0].Attempts != 3 {
+		t.Errorf("after first cycle: %+v", evs[0])
+	}
+	if evs[0].Err == "" {
+		t.Error("exhausted lifecycle has no error")
+	}
+	if n := countEvents(r.hub, telemetry.EventRecoveryFailed); n != 3 {
+		t.Errorf("%d recovery_failed events, want 3 (2 backoffs + 1 exhaustion)", n)
+	}
+	if got := r.hub.Registry.Counter("thrifty_recovery_exhausted_total", "group", "g0").Value(); got != 1 {
+		t.Errorf("exhausted counter = %d", got)
+	}
+	// Days later, still no capacity: the controller keeps cycling (cool-down
+	// + fresh attempts) without recovering, panicking, or deadlocking the
+	// engine — Run simply returns at the bound with the recovery open.
+	r.eng.Run(3 * sim.Day)
+	evs = r.ctl.Events()
+	if evs[0].Recovered() {
+		t.Fatalf("recovered with no capacity: %+v", evs[0])
+	}
+	if evs[0].ExhaustedCycles < 2 {
+		t.Errorf("ExhaustedCycles = %d, want repeated cycles over 3 days", evs[0].ExhaustedCycles)
+	}
+	if r.ctl.InProgress() != 1 {
+		t.Errorf("InProgress = %d, want 1 (still waiting for capacity)", r.ctl.InProgress())
+	}
+	// The degraded instance kept serving: SpeedFactor 0.5, not offline.
+	if got := r.inst.SpeedFactor(); got != 0.5 {
+		t.Errorf("degraded SpeedFactor = %v, want 0.5", got)
+	}
+}
+
+// TestRecoveryAfterCapacityReturns: an exhausted controller completes the
+// recovery in a later cycle when a hibernated node appears.
+func TestRecoveryAfterCapacityReturns(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxAttempts = 2
+	cfg.CoolDown = 10 * time.Minute
+	eng := sim.NewEngine()
+	pool := cluster.NewPool(3)
+	inst := mppdb.New(eng, "g0-db0", 2)
+	inst.DeployTenant("T0", 10)
+	if _, err := pool.Acquire(inst.ID(), 2); err != nil {
+		t.Fatal(err)
+	}
+	// A second owner keeps the spare busy initially.
+	if _, err := pool.Acquire("hog", 1); err != nil {
+		t.Fatal(err)
+	}
+	ctl, err := New(eng, pool, "g0", []*mppdb.Instance{inst}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	eng.Schedule(100*sim.Second, func(sim.Time) {
+		if err := inst.FailNode(); err != nil {
+			t.Errorf("FailNode: %v", err)
+			return
+		}
+		if _, err := pool.FailAny(inst.ID()); err != nil {
+			t.Errorf("FailAny: %v", err)
+		}
+	})
+	// The hog releases its node after the first cycle has exhausted.
+	eng.Schedule(30*sim.Minute, func(sim.Time) { pool.Release("hog") })
+	eng.Run(2 * sim.Day)
+
+	evs := ctl.Events()
+	if len(evs) != 1 || !evs[0].Recovered() {
+		t.Fatalf("recovery did not complete after capacity returned: %+v", evs)
+	}
+	if evs[0].ExhaustedCycles < 1 || evs[0].Attempts <= cfg.MaxAttempts {
+		t.Errorf("expected at least one exhausted cycle before success: %+v", evs[0])
+	}
+	if evs[0].Err != "" {
+		t.Errorf("Err not cleared on success: %q", evs[0].Err)
+	}
+	if inst.FailedNodes() != 0 {
+		t.Errorf("instance left degraded")
+	}
+	if f, rp := pool.CountState(cluster.Failed), pool.CountState(cluster.Repairing); f != 0 || rp != 0 {
+		t.Errorf("pool left failed=%d repairing=%d", f, rp)
+	}
+}
+
+// TestInstanceOnlyFailureFallsBackToAcquire: a failure injected at the
+// instance alone (no pool-side Failed record) recovers via a plain acquire.
+func TestInstanceOnlyFailureFallsBackToAcquire(t *testing.T) {
+	r := newRig(t, 3, DefaultConfig())
+	r.eng.Schedule(50*sim.Second, func(sim.Time) {
+		if err := r.inst.FailNode(); err != nil {
+			t.Errorf("FailNode: %v", err)
+		}
+	})
+	r.eng.Run(sim.Day)
+	evs := r.ctl.Events()
+	if len(evs) != 1 || !evs[0].Recovered() {
+		t.Fatalf("recovery events: %+v", evs)
+	}
+	if evs[0].FailedNode != -1 {
+		t.Errorf("FailedNode = %d, want -1 (no pool record)", evs[0].FailedNode)
+	}
+	if evs[0].ReplacementNode != 2 {
+		t.Errorf("ReplacementNode = %d, want 2", evs[0].ReplacementNode)
+	}
+}
+
+// TestNotifySkipsDetectionLatency: a push notification recovers without
+// waiting for the next heartbeat.
+func TestNotifySkipsDetectionLatency(t *testing.T) {
+	r := newRig(t, 3, DefaultConfig())
+	r.eng.Schedule(100*sim.Second, func(sim.Time) {
+		if err := r.inst.FailNode(); err != nil {
+			t.Errorf("FailNode: %v", err)
+			return
+		}
+		r.ctl.Notify()
+	})
+	r.eng.Run(sim.Day)
+	evs := r.ctl.Events()
+	if len(evs) != 1 {
+		t.Fatalf("%d events", len(evs))
+	}
+	if evs[0].Detected != 100*sim.Second {
+		t.Errorf("Detected = %v, want 100s (pushed)", evs[0].Detected)
+	}
+	// The next heartbeat must not double-start a lifecycle for the same
+	// failure.
+	if r.ctl.InProgress() != 0 || len(r.ctl.Events()) != 1 {
+		t.Error("heartbeat double-counted a notified failure")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	eng := sim.NewEngine()
+	pool := cluster.NewPool(2)
+	inst := mppdb.New(eng, "x", 2)
+	bad := []Config{
+		{},
+		{HeartbeatInterval: time.Second, MaxAttempts: 0, InitialBackoff: time.Second, MaxBackoff: time.Second, CoolDown: time.Second},
+		{HeartbeatInterval: -time.Second, MaxAttempts: 1, InitialBackoff: time.Second, MaxBackoff: time.Second, CoolDown: time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := New(eng, pool, "g", []*mppdb.Instance{inst}, cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := New(nil, pool, "g", []*mppdb.Instance{inst}, DefaultConfig()); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(eng, pool, "g", nil, DefaultConfig()); err == nil {
+		t.Error("no instances accepted")
+	}
+	ctl, err := New(eng, pool, "g", []*mppdb.Instance{inst}, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	ctl.Start() // idempotent
+	if !ctl.Started() {
+		t.Error("Started false after Start")
+	}
+	if n := eng.Pending(); n != 1 {
+		t.Errorf("double Start armed %d heartbeats, want 1", n)
+	}
+}

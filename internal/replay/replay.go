@@ -12,10 +12,10 @@ import (
 	"sync"
 	"time"
 
-	"repro/internal/cluster"
 	"repro/internal/master"
 	"repro/internal/monitor"
 	"repro/internal/queries"
+	"repro/internal/recovery"
 	"repro/internal/scaling"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -38,9 +38,12 @@ type TakeOver struct {
 }
 
 // Failure injects a node failure (§4.4): at At, one node of the group's
-// MPPDB fails; the MPPDB stays online with degraded throughput while a
-// replacement node starts (cluster.StartupTime for a single node), after
-// which full speed is restored.
+// MPPDB fails (at the instance and, when the pool holds an active node for
+// it, at the pool too). The MPPDB stays online with degraded throughput;
+// detection and repair are autonomous — the group's recovery.Controller
+// notices the failure on its next heartbeat, swaps the node at the pool,
+// prices replacement startup plus the Table 5.1 bulk reload, and restores
+// full speed. Scripted and service-path recovery share that one code path.
 type Failure struct {
 	// At is the failure instant.
 	At sim.Time
@@ -64,12 +67,33 @@ type Options struct {
 	TakeOver *TakeOver
 	// Failures injects node failures.
 	Failures []Failure
+	// Recovery overrides the recovery controllers' config when failures are
+	// injected (default recovery.DefaultConfig).
+	Recovery *recovery.Config
+	// DrainSlack extends the post-window drain that lets in-flight queries —
+	// and, with failures, recoveries and re-images — settle (default one
+	// day). Long reloads of data-heavy groups can need more.
+	DrainSlack time.Duration
+}
+
+// drainUntil returns the absolute end of the post-window drain.
+func (o Options) drainUntil() sim.Time {
+	if o.DrainSlack > 0 {
+		return o.To.Add(o.DrainSlack)
+	}
+	return o.To + sim.Day
 }
 
 // FailureEvent records an injected failure's lifecycle.
 type FailureEvent struct {
 	Failure
-	// RepairedAt is when the replacement node restored full speed.
+	// MPPDB is the degraded instance's ID, filled at injection.
+	MPPDB string
+	// Node is the pool node failed alongside the instance, -1 when the pool
+	// held no active node for it.
+	Node int
+	// RepairedAt is when autonomous recovery restored full speed (zero when
+	// recovery had not completed by the end of the drain).
 	RepairedAt sim.Time
 	// Err is non-empty when the injection could not be applied.
 	Err string
@@ -93,6 +117,9 @@ type Report struct {
 	ScalingEvents []scaling.Event
 	// FailureEvents are the injected node failures and their repairs.
 	FailureEvents []FailureEvent
+	// RecoveryEvents are the controllers' recovery lifecycles (empty when no
+	// failures were injected), in deployment group order.
+	RecoveryEvents []recovery.Event
 	// Submitted and SubmitErrors count routing attempts and failures.
 	Submitted    int
 	SubmitErrors int
@@ -205,55 +232,32 @@ func Run(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
 		eng.Schedule(to.Start, hammer)
 	}
 
-	// Failure injection: degrade the instance at the failure instant, start
-	// a replacement node, restore full speed when it is up (§4.4).
+	// Failure injection (§4.4). The injector only breaks things: it degrades
+	// the instance and fails the backing pool node. Detection and repair run
+	// on the groups' recovery controllers — the same autonomous path the
+	// service uses — armed here only when there are failures to recover, so
+	// failure-free replays keep their pre-controller event schedule
+	// bit-identically.
+	var controllers []*recovery.Controller
+	if len(opts.Failures) > 0 {
+		for _, g := range dep.Groups() {
+			if g.Recovery == nil {
+				rc, err := recovery.New(eng, dep.Pool(), g.Plan.ID, g.Instances, recoveryConfig(opts))
+				if err != nil {
+					return nil, err
+				}
+				rc.SetTelemetry(dep.Telemetry())
+				rc.Start()
+				g.Recovery = rc
+			}
+			controllers = append(controllers, g.Recovery)
+		}
+	}
 	for fi, f := range opts.Failures {
 		fi, f := fi, f
-		rep.FailureEvents = append(rep.FailureEvents, FailureEvent{Failure: f})
+		rep.FailureEvents = append(rep.FailureEvents, FailureEvent{Failure: f, Node: -1})
 		eng.Schedule(f.At, func(sim.Time) {
-			ev := &rep.FailureEvents[fi]
-			var g *master.DeployedGroup
-			for _, cand := range dep.Groups() {
-				if cand.Plan.ID == f.Group {
-					g = cand
-				}
-			}
-			if g == nil {
-				ev.Err = fmt.Sprintf("no group %q", f.Group)
-				return
-			}
-			if f.Instance < 0 || f.Instance >= len(g.Instances) {
-				ev.Err = fmt.Sprintf("group %s has no instance %d", f.Group, f.Instance)
-				return
-			}
-			inst := g.Instances[f.Instance]
-			if err := inst.FailNode(); err != nil {
-				ev.Err = err.Error()
-				return
-			}
-			if h := dep.Telemetry(); h != nil {
-				h.Events.Publish(telemetry.Event{
-					Type:   telemetry.EventNodeFailure,
-					Group:  f.Group,
-					MPPDB:  inst.ID(),
-					Value:  float64(inst.FailedNodes()),
-					Detail: "degraded; replacement node starting",
-				})
-			}
-			eng.After(cluster.StartupTime(1), func(now sim.Time) {
-				if err := inst.RepairNode(); err != nil {
-					ev.Err = err.Error()
-					return
-				}
-				ev.RepairedAt = now
-				if h := dep.Telemetry(); h != nil {
-					h.Events.Publish(telemetry.Event{
-						Type:  telemetry.EventNodeRepair,
-						Group: f.Group,
-						MPPDB: inst.ID(),
-					})
-				}
-			})
+			injectFailure(dep, &rep.FailureEvents[fi])
 		})
 	}
 
@@ -294,15 +298,100 @@ func Run(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
 	}
 
 	eng.Run(opts.To)
-	// Let in-flight queries finish; the scaler's periodic tick would run
-	// forever, so bound the drain at the window end plus a slack day.
-	eng.Run(opts.To + sim.Day)
+	// Let in-flight queries finish; the scaler's periodic tick (and the
+	// recovery heartbeat) would run forever, so bound the drain.
+	eng.Run(opts.drainUntil())
 
 	rep.Records = dep.Records()
 	if scaler != nil {
 		rep.ScalingEvents = scaler.Events()
 	}
+	for _, rc := range controllers {
+		rep.RecoveryEvents = append(rep.RecoveryEvents, rc.Events()...)
+	}
+	fillRepairs(rep.FailureEvents, rep.RecoveryEvents)
 	return rep, nil
+}
+
+// recoveryConfig resolves the controllers' config for a run with failures.
+func recoveryConfig(opts Options) recovery.Config {
+	if opts.Recovery != nil {
+		return *opts.Recovery
+	}
+	return recovery.DefaultConfig()
+}
+
+// injectFailure applies one scripted failure against the deployment: the
+// instance loses a node and the pool's backing node (if any is active for
+// that instance) is marked Failed, so the controller's swap has a node to
+// cart away. The caller must own the deployment's engine.
+func injectFailure(dep *master.Deployment, ev *FailureEvent) {
+	var g *master.DeployedGroup
+	for _, cand := range dep.Groups() {
+		if cand.Plan.ID == ev.Group {
+			g = cand
+		}
+	}
+	if g == nil {
+		ev.Err = fmt.Sprintf("no group %q", ev.Group)
+		return
+	}
+	injectFailureOn(dep, g, ev)
+}
+
+// injectFailureOn is injectFailure with the group already resolved; the
+// parallel path calls it from the group's own clock domain.
+func injectFailureOn(dep *master.Deployment, g *master.DeployedGroup, ev *FailureEvent) {
+	if ev.Instance < 0 || ev.Instance >= len(g.Instances) {
+		ev.Err = fmt.Sprintf("group %s has no instance %d", ev.Group, ev.Instance)
+		return
+	}
+	inst := g.Instances[ev.Instance]
+	if err := inst.FailNode(); err != nil {
+		ev.Err = err.Error()
+		return
+	}
+	ev.MPPDB = inst.ID()
+	if id, err := dep.Pool().FailAny(inst.ID()); err == nil {
+		ev.Node = id
+	}
+	if h := dep.Telemetry(); h != nil {
+		h.Events.Publish(telemetry.Event{
+			Type:   telemetry.EventNodeFailure,
+			Group:  ev.Group,
+			MPPDB:  inst.ID(),
+			Value:  float64(inst.FailedNodes()),
+			Detail: "degraded; awaiting autonomous recovery",
+		})
+	}
+}
+
+// fillRepairs back-fills FailureEvent.RepairedAt from the controllers'
+// lifecycles: the k-th applied injection against an instance (by failure
+// instant) maps to the instance's k-th detected recovery.
+func fillRepairs(fails []FailureEvent, recs []recovery.Event) {
+	byDB := make(map[string][]recovery.Event)
+	for _, r := range recs {
+		byDB[r.MPPDB] = append(byDB[r.MPPDB], r)
+	}
+	order := make([]int, 0, len(fails))
+	for i := range fails {
+		if fails[i].Err == "" && fails[i].MPPDB != "" {
+			order = append(order, i)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return fails[order[a]].At < fails[order[b]].At
+	})
+	next := make(map[string]int)
+	for _, i := range order {
+		db := fails[i].MPPDB
+		k := next[db]
+		next[db] = k + 1
+		if k < len(byDB[db]) && byDB[db][k].Recovered() {
+			fails[i].RepairedAt = byDB[db][k].Completed
+		}
+	}
 }
 
 // groupReport accumulates one group's share of a parallel replay. All fields
@@ -311,6 +400,7 @@ type groupReport struct {
 	samples      []Sample
 	records      []monitor.QueryRecord
 	scaling      []scaling.Event
+	recovery     []recovery.Event
 	submitted    int
 	submitErrors int
 	err          error
@@ -367,7 +457,7 @@ func RunParallel(dep *master.Deployment, cat *queries.Catalog,
 	failEvents := make([]FailureEvent, len(opts.Failures))
 	failuresBy := make([][]int, len(groups))
 	for fi, f := range opts.Failures {
-		failEvents[fi] = FailureEvent{Failure: f}
+		failEvents[fi] = FailureEvent{Failure: f, Node: -1}
 		found := false
 		for i, g := range groups {
 			if g.Plan.ID == f.Group {
@@ -402,9 +492,11 @@ func RunParallel(dep *master.Deployment, cat *queries.Catalog,
 		rep.Samples[g.Plan.ID] = r.samples
 		rep.Records = append(rep.Records, r.records...)
 		rep.ScalingEvents = append(rep.ScalingEvents, r.scaling...)
+		rep.RecoveryEvents = append(rep.RecoveryEvents, r.recovery...)
 		rep.Submitted += r.submitted
 		rep.SubmitErrors += r.submitErrors
 	}
+	fillRepairs(rep.FailureEvents, rep.RecoveryEvents)
 	// Deterministic merge: per-group sequences are already deterministic;
 	// a stable sort by submit time (concatenation group order breaking
 	// ties) yields one canonical global order.
@@ -477,44 +569,24 @@ func replayGroup(dep *master.Deployment, g *master.DeployedGroup, cat *queries.C
 			eng.Schedule(to.Start, hammer)
 		}
 
-		// Failure injection for this group's instances (§4.4).
+		// Failure injection for this group's instances (§4.4): the injector
+		// breaks, the group's recovery controller detects and repairs. The
+		// controller is armed whenever the run injects failures anywhere —
+		// matching Run's shared-mode behaviour group for group.
+		if len(opts.Failures) > 0 && g.Recovery == nil {
+			rc, err := recovery.New(eng, dep.Pool(), g.Plan.ID, g.Instances, recoveryConfig(opts))
+			if err != nil {
+				res.err = err
+				return
+			}
+			rc.SetTelemetry(dep.Telemetry())
+			rc.Start()
+			g.Recovery = rc
+		}
 		for _, fi := range failures {
 			fi := fi
-			f := failEvents[fi].Failure
-			eng.Schedule(f.At, func(sim.Time) {
-				ev := &failEvents[fi]
-				if f.Instance < 0 || f.Instance >= len(g.Instances) {
-					ev.Err = fmt.Sprintf("group %s has no instance %d", f.Group, f.Instance)
-					return
-				}
-				inst := g.Instances[f.Instance]
-				if err := inst.FailNode(); err != nil {
-					ev.Err = err.Error()
-					return
-				}
-				if h := dep.Telemetry(); h != nil {
-					h.Events.Publish(telemetry.Event{
-						Type:   telemetry.EventNodeFailure,
-						Group:  f.Group,
-						MPPDB:  inst.ID(),
-						Value:  float64(inst.FailedNodes()),
-						Detail: "degraded; replacement node starting",
-					})
-				}
-				eng.After(cluster.StartupTime(1), func(now sim.Time) {
-					if err := inst.RepairNode(); err != nil {
-						ev.Err = err.Error()
-						return
-					}
-					ev.RepairedAt = now
-					if h := dep.Telemetry(); h != nil {
-						h.Events.Publish(telemetry.Event{
-							Type:  telemetry.EventNodeRepair,
-							Group: f.Group,
-							MPPDB: inst.ID(),
-						})
-					}
-				})
+			eng.Schedule(failEvents[fi].At, func(sim.Time) {
+				injectFailureOn(dep, g, &failEvents[fi])
 			})
 		}
 
@@ -556,14 +628,17 @@ func replayGroup(dep *master.Deployment, g *master.DeployedGroup, cat *queries.C
 	}
 
 	dom.Advance(opts.To, nil)
-	// Let in-flight queries finish; the scaler's periodic tick would run
-	// forever, so bound the drain at the window end plus a slack day.
-	dom.Advance(opts.To+sim.Day, nil)
+	// Let in-flight queries finish; the scaler's periodic tick (and the
+	// recovery heartbeat) would run forever, so bound the drain.
+	dom.Advance(opts.drainUntil(), nil)
 
 	dom.Do(func(*sim.Engine) {
 		res.records = append(res.records, g.Monitor.Records()...)
 		if scaler != nil {
 			res.scaling = scaler.Events()
+		}
+		if g.Recovery != nil {
+			res.recovery = g.Recovery.Events()
 		}
 	})
 	return res

@@ -11,6 +11,7 @@ import (
 	"repro/internal/master"
 	"repro/internal/monitor"
 	"repro/internal/queries"
+	"repro/internal/recovery"
 	"repro/internal/scaling"
 	"repro/internal/sim"
 	"repro/internal/tenant"
@@ -191,11 +192,13 @@ func TestReplayTakeOverTriggersScaling(t *testing.T) {
 	}
 }
 
-// TestReplayFailureInjection: a node failure degrades the instance, a
-// replacement restores it (§4.4), and bad specs surface as event errors.
+// TestReplayFailureInjection: a node failure degrades the instance, the
+// group's recovery controller detects it on a heartbeat and restores it
+// (§4.4, Table 5.1), and bad specs surface as event errors.
 func TestReplayFailureInjection(t *testing.T) {
 	w := newWorld(t, 6, 2, 2)
 	g := w.dep.Groups()[0]
+	activeBefore := w.dep.Pool().CountState(cluster.Active)
 	rep, err := Run(w.eng, w.dep, w.cat, w.logs, Options{
 		From: 0,
 		To:   sim.Day,
@@ -215,15 +218,43 @@ func TestReplayFailureInjection(t *testing.T) {
 	if ok.Err != "" {
 		t.Fatalf("valid injection failed: %s", ok.Err)
 	}
-	if ok.RepairedAt <= ok.At {
-		t.Errorf("repair at %v not after failure at %v", ok.RepairedAt, ok.At)
+	inst := g.Instances[0]
+	if ok.MPPDB != inst.ID() || ok.Node < 0 {
+		t.Errorf("injection recorded MPPDB %q node %d", ok.MPPDB, ok.Node)
 	}
-	// Replacement takes one node's startup time.
-	if got := ok.RepairedAt.Sub(ok.At); got != cluster.StartupTime(1) {
-		t.Errorf("repair took %v, want %v", got, cluster.StartupTime(1))
+	// Autonomous repair: detection within one heartbeat, then single-node
+	// startup plus the Table 5.1 reload of the node's data share.
+	share := inst.TenantDataGB() / float64(inst.Nodes())
+	base := cluster.StartupTime(1) + cluster.LoadTime(share, 1, false)
+	hb := recovery.DefaultConfig().HeartbeatInterval
+	if got := ok.RepairedAt.Sub(ok.At); got < base || got > base+hb {
+		t.Errorf("repair took %v, want within [%v, %v]", got, base, base+hb)
 	}
-	if g.Instances[0].FailedNodes() != 0 {
+	if inst.FailedNodes() != 0 || inst.SpeedFactor() != 1.0 {
 		t.Error("instance still degraded after repair")
+	}
+	// One recovery lifecycle, detected after the failure, on the heartbeat.
+	var rec *recovery.Event
+	for i := range rep.RecoveryEvents {
+		if rep.RecoveryEvents[i].MPPDB == inst.ID() {
+			rec = &rep.RecoveryEvents[i]
+		}
+	}
+	if rec == nil {
+		t.Fatal("no recovery lifecycle recorded")
+	}
+	if !rec.Recovered() || rec.Detected < ok.At || rec.Detected > ok.At.Add(hb) {
+		t.Errorf("recovery lifecycle %+v not detected within a heartbeat of %v", rec, ok.At)
+	}
+	if rec.FailedNode != ok.Node {
+		t.Errorf("controller swapped node %d, injector failed %d", rec.FailedNode, ok.Node)
+	}
+	// The swapped-out node re-imaged during the drain: no leaks, full pool.
+	if n := w.dep.Pool().CountState(cluster.Failed) + w.dep.Pool().CountState(cluster.Repairing); n != 0 {
+		t.Errorf("%d nodes stuck failed/repairing", n)
+	}
+	if got := w.dep.Pool().CountState(cluster.Active); got != activeBefore {
+		t.Errorf("active nodes %d, want %d", got, activeBefore)
 	}
 	if rep.FailureEvents[1].Err == "" || rep.FailureEvents[2].Err == "" {
 		t.Error("bad failure specs did not surface errors")
@@ -414,8 +445,15 @@ func TestReplayParallelFailureInjection(t *testing.T) {
 	if okEv.Err != "" {
 		t.Fatalf("valid injection failed: %s", okEv.Err)
 	}
-	if got := okEv.RepairedAt.Sub(okEv.At); got != cluster.StartupTime(1) {
-		t.Errorf("repair took %v, want %v", got, cluster.StartupTime(1))
+	inst := g.Instances[0]
+	share := inst.TenantDataGB() / float64(inst.Nodes())
+	base := cluster.StartupTime(1) + cluster.LoadTime(share, 1, false)
+	hb := recovery.DefaultConfig().HeartbeatInterval
+	if got := okEv.RepairedAt.Sub(okEv.At); got < base || got > base+hb {
+		t.Errorf("repair took %v, want within [%v, %v]", got, base, base+hb)
+	}
+	if len(rep.RecoveryEvents) == 0 {
+		t.Error("no recovery lifecycles in merged report")
 	}
 	if badEv.Err == "" {
 		t.Error("unknown group did not surface an error")

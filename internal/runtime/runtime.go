@@ -14,10 +14,14 @@
 package runtime
 
 import (
+	"fmt"
+	"time"
+
 	"repro/internal/advisor"
 	"repro/internal/monitor"
 	"repro/internal/mppdb"
 	"repro/internal/queries"
+	"repro/internal/recovery"
 	"repro/internal/router"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -35,8 +39,31 @@ type GroupRuntime struct {
 	Router    *router.GroupRouter
 	Monitor   *monitor.GroupMonitor
 	Members   []*tenant.Tenant
+	// Recovery, when non-nil, is the group's autonomous failure-recovery
+	// controller (§4.4), armed by the Deployment Master or the replay
+	// failure injector. It lives on the group's engine.
+	Recovery *recovery.Controller
 
 	dom *sim.Domain
+
+	// Telemetry (optional): submit-path retry/timeout instrumentation.
+	tel      *telemetry.Hub
+	mRetried *telemetry.Counter
+	mTimeout *telemetry.Counter
+	hRetries *telemetry.Histogram
+}
+
+// SetTelemetry attaches a telemetry hub for the group's submit-path retry
+// instrumentation. A nil hub disables it.
+func (g *GroupRuntime) SetTelemetry(h *telemetry.Hub) {
+	g.tel = h
+	if h == nil {
+		return
+	}
+	g.mRetried = h.Registry.Counter("thrifty_query_retried_total", "group", g.Plan.ID)
+	g.mTimeout = h.Registry.Counter("thrifty_query_timeout_total", "group", g.Plan.ID)
+	g.hRetries = h.Registry.Histogram("thrifty_query_retries",
+		[]float64{0, 1, 2, 3, 5, 8}, "group", g.Plan.ID)
 }
 
 // Bind attaches the group's clock domain. The Deployment Master calls it
@@ -64,6 +91,116 @@ func (g *GroupRuntime) SubmitAt(at sim.Time, tenantID string, class *queries.Cla
 		db, err = g.Router.SubmitWithTarget(tenantID, class, sla)
 	})
 	return db, err
+}
+
+// RetryPolicy shapes SubmitWithRetry: how often a transiently failed submit
+// is re-tried against the group's replica set, and when to give up.
+type RetryPolicy struct {
+	// MaxRetries bounds the re-tries after the first attempt.
+	MaxRetries int
+	// Backoff is the virtual-time wait between attempts (default 15 s).
+	Backoff time.Duration
+	// Timeout is the total virtual-time budget from the submit instant;
+	// 0 means no deadline beyond MaxRetries.
+	Timeout time.Duration
+}
+
+// DefaultRetryPolicy matches the service front end's defaults: three retries
+// 30 s apart within a 5-minute budget.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{MaxRetries: 3, Backoff: 30 * time.Second, Timeout: 5 * time.Minute}
+}
+
+// TimeoutError is returned when a submit exhausted its retry policy — the
+// typed alternative to hanging the caller on a group that cannot currently
+// place the query (e.g. every replica mid-recovery).
+type TimeoutError struct {
+	Group   string
+	Tenant  string
+	Timeout time.Duration
+	// Attempts is the total number of submit attempts made.
+	Attempts int
+	// Last is the final attempt's routing error.
+	Last error
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("runtime: query for tenant %s in group %s timed out after %d attempts (budget %v): %v",
+		e.Tenant, e.Group, e.Attempts, e.Timeout, e.Last)
+}
+
+// Unwrap exposes the final routing error.
+func (e *TimeoutError) Unwrap() error { return e.Last }
+
+// SubmitWithRetry routes like SubmitAt but shields the caller from transient
+// routing failures: when the router cannot place the query (every replica of
+// the set R busy recovering or not Ready), the submit is re-tried at
+// virtual-time backoff — the domain is released between attempts, so other
+// callers and the group's own recovery keep progressing. Once the policy is
+// exhausted it returns a *TimeoutError. The second return value is the
+// number of retries used by a successful submit.
+func (g *GroupRuntime) SubmitWithRetry(at sim.Time, tenantID string, class *queries.Class,
+	sla sim.Time, pol RetryPolicy) (string, int, error) {
+	if pol.Backoff <= 0 {
+		pol.Backoff = 15 * time.Second
+	}
+	deadline := sim.MaxTime
+	if pol.Timeout > 0 {
+		deadline = at + sim.Duration(pol.Timeout)
+	}
+	t := at
+	for retries := 0; ; retries++ {
+		var db string
+		var err error
+		var known bool
+		g.dom.Advance(t, func(*sim.Engine) {
+			db, err = g.Router.SubmitWithTarget(tenantID, class, sla)
+			known = g.Router.HasTenant(tenantID)
+		})
+		if err == nil {
+			if g.hRetries != nil {
+				g.hRetries.Observe(float64(retries))
+			}
+			return db, retries, nil
+		}
+		if !known {
+			// Permanent: this group will never accept the tenant.
+			return "", retries, err
+		}
+		if next := t + sim.Duration(pol.Backoff); retries < pol.MaxRetries && next <= deadline {
+			if g.tel != nil {
+				g.mRetried.Inc()
+				g.tel.Events.Publish(telemetry.Event{
+					Type:   telemetry.EventQueryRetried,
+					Group:  g.Plan.ID,
+					Tenant: tenantID,
+					Value:  float64(retries + 1),
+					Detail: err.Error(),
+				})
+			}
+			t = next
+			continue
+		}
+		if g.tel != nil {
+			g.mTimeout.Inc()
+			g.hRetries.Observe(float64(retries))
+			g.tel.Events.Publish(telemetry.Event{
+				Type:   telemetry.EventQueryTimeout,
+				Group:  g.Plan.ID,
+				Tenant: tenantID,
+				Value:  float64(retries),
+				Detail: err.Error(),
+			})
+		}
+		return "", retries, &TimeoutError{
+			Group:    g.Plan.ID,
+			Tenant:   tenantID,
+			Timeout:  pol.Timeout,
+			Attempts: retries + 1,
+			Last:     err,
+		}
+	}
 }
 
 // Stats is a point-in-time snapshot of a group's run-time state, safe to

@@ -24,6 +24,7 @@ package service
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -54,6 +55,7 @@ type Server struct {
 
 	cat       *queries.Catalog
 	timeScale float64
+	retry     runtime.RetryPolicy
 
 	// clockMu guards the wall-clock pacing origin.
 	clockMu sync.Mutex
@@ -85,6 +87,17 @@ type Config struct {
 	// DisableMetrics removes the Prometheus GET /metrics endpoint (the
 	// observability JSON endpoints under /v1 stay).
 	DisableMetrics bool
+	// SubmitRetries bounds how often a transiently failed submit is
+	// re-tried against the tenant's replica set before timing out
+	// (default 3; negative disables retries).
+	SubmitRetries int
+	// SubmitBackoff is the virtual-time wait between submit attempts
+	// (default 30 s).
+	SubmitBackoff time.Duration
+	// SubmitTimeout is the virtual-time budget per submit; past it the
+	// request fails with 504 instead of hanging the group's clock domain
+	// (default 5 min).
+	SubmitTimeout time.Duration
 }
 
 // New builds a server over a live deployment. The deployment may be shared
@@ -101,11 +114,22 @@ func New(dep *master.Deployment, cat *queries.Catalog,
 	if cfg.TimeScale < 0 {
 		return nil, fmt.Errorf("service: negative time scale")
 	}
+	retry := runtime.DefaultRetryPolicy()
+	if cfg.SubmitRetries != 0 {
+		retry.MaxRetries = max(cfg.SubmitRetries, 0)
+	}
+	if cfg.SubmitBackoff > 0 {
+		retry.Backoff = cfg.SubmitBackoff
+	}
+	if cfg.SubmitTimeout > 0 {
+		retry.Timeout = cfg.SubmitTimeout
+	}
 	s := &Server{
 		dep:       dep,
 		cat:       cat,
 		plan:      plan,
 		timeScale: cfg.TimeScale,
+		retry:     retry,
 		started:   time.Now(),
 		now:       time.Now,
 		matcher:   sqlmatch.New(cat),
@@ -383,10 +407,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "tenant %s not deployed", req.Tenant)
 		return
 	}
-	db, err := g.SubmitAt(t, req.Tenant, class, 0)
+	db, retries, err := g.SubmitWithRetry(t, req.Tenant, class, 0, s.retry)
 	now := g.Now()
 	s.topo.RUnlock()
 	if err != nil {
+		var te *runtime.TimeoutError
+		if errors.As(err, &te) {
+			writeJSON(w, http.StatusGatewayTimeout, map[string]any{
+				"error":    te.Error(),
+				"kind":     "timeout",
+				"attempts": te.Attempts,
+			})
+			return
+		}
 		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
@@ -395,6 +428,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		"query":        class.ID,
 		"template":     template,
 		"routed_to":    db,
+		"retries":      retries,
 		"submitted_at": now.String(),
 	})
 }

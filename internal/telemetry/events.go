@@ -32,6 +32,24 @@ const (
 	EventNodeFailure EventType = "node_failure"
 	// EventNodeRepair: the replacement node restored full speed.
 	EventNodeRepair EventType = "node_repair"
+	// EventRecoveryStarted: the recovery controller detected a node failure
+	// and began driving a replacement (§4.4).
+	EventRecoveryStarted EventType = "recovery_started"
+	// EventRecoveryReplaced: a replacement node was acquired from the pool;
+	// startup + bulk reload are underway.
+	EventRecoveryReplaced EventType = "recovery_replaced"
+	// EventRecoveryCompleted: the reload finished and RepairNode restored
+	// full speed.
+	EventRecoveryCompleted EventType = "recovery_completed"
+	// EventRecoveryFailed: a replacement attempt failed (e.g. node pool
+	// exhausted); the controller backs off and retries.
+	EventRecoveryFailed EventType = "recovery_failed"
+	// EventQueryRetried: a submit failed transiently and was retried against
+	// the tenant's replica set.
+	EventQueryRetried EventType = "query_retried"
+	// EventQueryTimeout: a submit exhausted its retry budget and returned a
+	// typed timeout error to the caller.
+	EventQueryTimeout EventType = "query_timeout"
 )
 
 // Event is one occurrence on the SLA timeline.

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/master"
 	"repro/internal/queries"
+	"repro/internal/recovery"
 	"repro/internal/replay"
 	"repro/internal/scaling"
 	"repro/internal/service"
@@ -184,6 +185,12 @@ type DeployOptions struct {
 	// experiments — the shared domain keeps event interleaving globally
 	// ordered, so same-seed runs are byte-identical.
 	Sharded bool
+	// Recovery arms an autonomous recovery controller per tenant-group
+	// (§4.4): a heartbeat failure detector plus replacement acquisition,
+	// Table 5.1 reload modeling, and repair. Nil leaves groups bare — the
+	// service path typically sets it, replay arms controllers itself when
+	// failures are injected.
+	Recovery *RecoveryConfig
 }
 
 // Deploy brings the plan up on a fresh simulated cluster.
@@ -198,6 +205,7 @@ func Deploy(w *Workload, plan *Plan, opts DeployOptions) (*System, error) {
 		ParallelLoad:  opts.ParallelLoad,
 		MonitorWindow: opts.MonitorWindow,
 		Sharded:       opts.Sharded,
+		Recovery:      opts.Recovery,
 	})
 	dep, err := m.Deploy(plan, w.Tenants())
 	if err != nil {
@@ -212,8 +220,21 @@ type ReplayOptions = replay.Options
 // TakeOver re-exports the §7.5 take-over injection spec.
 type TakeOver = replay.TakeOver
 
+// Failure re-exports the node-failure injection spec. Injected failures
+// only break a node; detection and repair run autonomously through the
+// §4.4 recovery controllers replay arms alongside them.
+type Failure = replay.Failure
+
 // ReplayReport re-exports the replay report.
 type ReplayReport = replay.Report
+
+// RecoveryConfig re-exports the autonomous recovery controller
+// configuration (heartbeat interval, acquisition attempts, backoff).
+type RecoveryConfig = recovery.Config
+
+// DefaultRecoveryConfig returns 30 s heartbeats and 5 acquisition attempts
+// backing off 1→16 min with an hour between cycles.
+func DefaultRecoveryConfig() RecoveryConfig { return recovery.DefaultConfig() }
 
 // ScalerConfig re-exports the elastic scaler configuration.
 type ScalerConfig = scaling.Config
@@ -239,14 +260,28 @@ type ServeOptions struct {
 	TimeScale float64
 	// DisableMetrics removes the Prometheus GET /metrics endpoint.
 	DisableMetrics bool
+	// SubmitRetries bounds retries of a transiently failed submit (all
+	// replicas down, e.g. mid-recovery) before giving up with 504
+	// (default 3; negative disables retries).
+	SubmitRetries int
+	// SubmitBackoff is the virtual-time wait between submit attempts
+	// (default 30 s).
+	SubmitBackoff time.Duration
+	// SubmitTimeout is the virtual-time budget per submit (default 5 min).
+	SubmitTimeout time.Duration
 }
 
 // Handler returns the MPPDBaaS HTTP API over the system. Deploy with
 // Sharded for a front end whose submits to different tenant-groups proceed
 // in parallel.
 func (s *System) Handler(opts ServeOptions) (http.Handler, error) {
-	return service.New(s.Deployment, s.Workload.Catalog, s.Plan,
-		service.Config{TimeScale: opts.TimeScale, DisableMetrics: opts.DisableMetrics})
+	return service.New(s.Deployment, s.Workload.Catalog, s.Plan, service.Config{
+		TimeScale:      opts.TimeScale,
+		DisableMetrics: opts.DisableMetrics,
+		SubmitRetries:  opts.SubmitRetries,
+		SubmitBackoff:  opts.SubmitBackoff,
+		SubmitTimeout:  opts.SubmitTimeout,
+	})
 }
 
 // Telemetry returns the system's telemetry hub: the metrics registry, query
