@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos-smoke bench
+.PHONY: check vet build test race chaos-smoke overload-smoke bench
 
-# The full pre-commit gate: static checks, build, the bounded chaos smoke,
-# and the race-enabled suite.
-check: vet build chaos-smoke race
+# The full pre-commit gate: static checks, build, the bounded chaos and
+# overload smokes, and the race-enabled suite.
+check: vet build chaos-smoke overload-smoke race
 
 vet:
 	$(GO) vet ./...
@@ -23,6 +23,12 @@ race:
 # injection, heartbeat detection, and autonomous recovery end to end.
 chaos-smoke:
 	$(GO) test -race -short -run TestChaosSmoke ./internal/recovery/chaos
+
+# Bounded noisy-tenant smoke with the race detector on: a seeded storm
+# against an admission-armed group, verifying the aggressor is throttled
+# and compliant tenants hold their guarantee.
+overload-smoke:
+	$(GO) test -race -short -run TestOverloadSmoke ./internal/recovery/chaos
 
 bench:
 	$(GO) test -bench=. -benchmem

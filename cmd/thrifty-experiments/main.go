@@ -66,6 +66,7 @@ var all = []experiment{
 		return res.Tables(), nil
 	}, true},
 	{"chaos", experiments.ChaosRecovery, true},
+	{"overload", experiments.OverloadStorm, true},
 	{"ablation", table1(experiments.AblationSolvers), true},
 	{"divergent", table1(experiments.DivergentDesign), true},
 	{"headline", func(env *experiments.Env) ([]*experiments.Table, error) {

@@ -52,6 +52,10 @@ func main() {
 		sharded   = flag.Bool("sharded", true, "per-group clock domains: submits to different tenant-groups proceed in parallel")
 		recovery  = flag.Bool("recovery", true, "arm an autonomous recovery controller per tenant-group (heartbeat failure detection, pool swap, Table 5.1 reload)")
 
+		admissionOn       = flag.Bool("admission", true, "arm overload protection per tenant-group (contract enforcement, bounded admission queue, brownout)")
+		admissionHeadroom = flag.Float64("admission-headroom", 2, "factor applied to each tenant's logged arrival rate/burst when deriving its contract")
+		admissionQueue    = flag.Int("admission-queue", 32, "bound of the per-group admission queue (submits waiting for a retry slot)")
+
 		submitRetries = flag.Int("submit-retries", 3, "retries of a transiently failed submit before 504 (negative disables)")
 		submitBackoff = flag.Duration("submit-backoff", 30*time.Second, "virtual-time wait between submit attempts")
 		submitTimeout = flag.Duration("submit-timeout", 5*time.Minute, "virtual-time budget per submit before 504")
@@ -92,6 +96,12 @@ func main() {
 		rcfg := thrifty.DefaultRecoveryConfig()
 		dopts.Recovery = &rcfg
 	}
+	if *admissionOn {
+		acfg := thrifty.DefaultAdmissionConfig()
+		acfg.Headroom = *admissionHeadroom
+		acfg.MaxQueue = *admissionQueue
+		dopts.Admission = &acfg
+	}
 	sys, err := thrifty.Deploy(w, plan, dopts)
 	if err != nil {
 		fatal("%v", err)
@@ -114,8 +124,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v, recovery %v)\n",
-		*addr, *timeScale, *metrics, *sharded, *recovery)
+	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v, recovery %v, admission %v)\n",
+		*addr, *timeScale, *metrics, *sharded, *recovery, *admissionOn)
 
 	select {
 	case err := <-errc:

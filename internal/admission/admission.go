@@ -1,0 +1,546 @@
+package admission
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/monitor"
+	"repro/internal/mppdb"
+	"repro/internal/recovery"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+)
+
+// Brownout levels. The controller progressively sheds the least protected
+// traffic first: over-contract tenants lose their burst allowance at
+// LevelThrottleHot, best-effort traffic is dropped at LevelShedBestEffort.
+// Contract-abiding SLA traffic is never shed at any level.
+const (
+	// LevelNormal: every tenant gets its full contract.
+	LevelNormal = 0
+	// LevelThrottleHot: the group nears its guarantee (RT-TTP under the
+	// enter threshold, or instances run degraded/mid-recovery); tenants
+	// that drained past the hot watermark — sustained submission above
+	// their contracted rate — are rejected until their bucket recovers.
+	LevelThrottleHot = 1
+	// LevelShedBestEffort: the guarantee is violated; best-effort traffic
+	// is shed too and the group goes shedding-only for stats readers.
+	LevelShedBestEffort = 2
+)
+
+// Shed reasons carried by ShedError and the per-reason shed counters.
+const (
+	// ShedQueueFull: the bounded admission queue is at capacity.
+	ShedQueueFull = "queue_full"
+	// ShedDeadline: the query could not start soon enough to meet its SLA
+	// deadline, so running it would be wasted work.
+	ShedDeadline = "deadline"
+	// ShedBestEffort: brownout dropped best-effort traffic.
+	ShedBestEffort = "best_effort"
+)
+
+// ContractExceededError is the typed 429: the tenant ran past its
+// contracted arrival process. RetryAfter is the virtual time until the
+// tenant's bucket readmits it.
+type ContractExceededError struct {
+	Group      string
+	Tenant     string
+	RetryAfter sim.Time
+	// Brownout reports whether the rejection was tightened by an active
+	// brownout (burst allowance withdrawn), not the contract alone.
+	Brownout bool
+}
+
+func (e *ContractExceededError) Error() string {
+	why := "contract exceeded"
+	if e.Brownout {
+		why = "contract exceeded (brownout)"
+	}
+	return fmt.Sprintf("admission: tenant %s on group %s: %s; retry after %v",
+		e.Tenant, e.Group, why, e.RetryAfter)
+}
+
+// ShedError is the typed 503: the query was shed without being run —
+// queue full, unmeetable deadline, or best-effort traffic during brownout.
+type ShedError struct {
+	Group      string
+	Tenant     string
+	Reason     string
+	RetryAfter sim.Time
+}
+
+func (e *ShedError) Error() string {
+	return fmt.Sprintf("admission: tenant %s on group %s: query shed (%s); retry after %v",
+		e.Tenant, e.Group, e.Reason, e.RetryAfter)
+}
+
+// Config parameterizes a group's admission controller.
+type Config struct {
+	// Contracts maps tenant ID to its contracted arrival process. Tenants
+	// absent from the map get Default. Derive from the advisor's workload
+	// model with ContractsFromLogs.
+	Contracts map[string]Contract
+	// Default applies to tenants without an explicit contract. The zero
+	// value is unlimited (counted, never throttled).
+	Default Contract
+	// Headroom is recorded for operators (the factor contracts were scaled
+	// by at derivation); it is not applied again here. <= 0 defaults to 2.
+	Headroom float64
+	// MaxQueue bounds how many submits may wait in the group's admission
+	// queue for a retry slot (default 32).
+	MaxQueue int
+	// DeadlineFactor sheds a queued query whose projected start delay
+	// exceeds (DeadlineFactor-1) x its SLA target (default 1.25: a query
+	// allowed to wait at most a quarter of its target before starting is
+	// shed immediately instead of wasting group capacity).
+	DeadlineFactor float64
+	// TickInterval is the brownout controller's evaluation cadence on the
+	// group's virtual clock (default 30 s).
+	TickInterval time.Duration
+	// BrownoutEnter is the RT-TTP threshold below which the group enters
+	// LevelThrottleHot. 0 defaults to P + (1-P)/2 — halfway into the
+	// remaining headroom above the guarantee.
+	BrownoutEnter float64
+	// HotFraction is the fraction of a tenant's burst it must retain to be
+	// admitted during brownout (default 0.5): a tenant that drained below
+	// HotFraction x Burst has been submitting above its sustained rate and
+	// is rejected first.
+	HotFraction float64
+	// StrikeLimit is how many consecutive rejections a tenant may accrue
+	// before the policer turns punitive regardless of brownout level: each
+	// further attempt restarts its refill from zero, locking an open-loop
+	// flooder out until it actually backs off. A client that honors
+	// Retry-After never accumulates strikes (default 8).
+	StrikeLimit int
+}
+
+// DefaultConfig returns the production defaults described above.
+func DefaultConfig() Config {
+	return Config{
+		Headroom:       2,
+		MaxQueue:       32,
+		DeadlineFactor: 1.25,
+		TickInterval:   30 * time.Second,
+		HotFraction:    0.5,
+		StrikeLimit:    8,
+	}
+}
+
+func (c *Config) normalize() {
+	if c.Headroom <= 0 {
+		c.Headroom = 2
+	}
+	if c.MaxQueue <= 0 {
+		c.MaxQueue = 32
+	}
+	if c.DeadlineFactor <= 1 {
+		c.DeadlineFactor = 1.25
+	}
+	if c.TickInterval <= 0 {
+		c.TickInterval = 30 * time.Second
+	}
+	if c.HotFraction <= 0 || c.HotFraction >= 1 {
+		c.HotFraction = 0.5
+	}
+	if c.StrikeLimit <= 0 {
+		c.StrikeLimit = 8
+	}
+}
+
+// tenantState is one member's bucket plus lock-free mirrors for readers.
+// The bucket itself is only touched under the group's clock domain; the
+// atomics let /v1/admission and /v1/slo read without taking it.
+type tenantState struct {
+	tenant    string
+	bucket    *bucket // nil for unlimited contracts
+	contract  Contract
+	strikes   int           // consecutive rejections; domain-serialized
+	tokens    atomic.Uint64 // Float64bits mirror of bucket.tokens
+	admitted  atomic.Int64
+	throttled atomic.Int64
+	shed      atomic.Int64
+}
+
+func (ts *tenantState) mirror() {
+	if ts.bucket != nil {
+		ts.tokens.Store(math.Float64bits(ts.bucket.tokens))
+	}
+}
+
+// TenantStat is one tenant's admission accounting, lock-free readable.
+type TenantStat struct {
+	Tenant    string  `json:"tenant"`
+	Rate      float64 `json:"rate_qps"`
+	Burst     float64 `json:"burst"`
+	Tokens    float64 `json:"tokens"`
+	Admitted  int64   `json:"admitted"`
+	Throttled int64   `json:"throttled"`
+	Shed      int64   `json:"shed"`
+}
+
+// Snapshot is a group's full admission state for inspection endpoints.
+type Snapshot struct {
+	Group        string       `json:"group"`
+	Level        int          `json:"level"`
+	QueueDepth   int          `json:"queue_depth"`
+	SheddingOnly bool         `json:"shedding_only"`
+	Tenants      []TenantStat `json:"tenants"`
+}
+
+// Controller is one tenant-group's admission controller. Admit, EnterQueue,
+// and LeaveQueue must run under the group's clock domain (they use the
+// engine clock and mutate buckets); the inspection methods are lock-free
+// and safe from any goroutine.
+type Controller struct {
+	eng     *sim.Engine
+	group   string
+	p       float64
+	enter   float64
+	cfg     Config
+	mon     *monitor.GroupMonitor
+	rec     *recovery.Controller
+	insts   []*mppdb.Instance
+	states  map[string]*tenantState // read-only after New
+	order   []string                // sorted member IDs
+	level   atomic.Int32
+	waiting atomic.Int32
+	started bool
+
+	onLevelChange func(int)
+	onTick        func()
+
+	tel        *telemetry.Hub
+	mAdmitted  *telemetry.Counter
+	mThrottled *telemetry.Counter
+	mShed      map[string]*telemetry.Counter // by reason
+	gLevel     *telemetry.Gauge
+	gQueue     *telemetry.Gauge
+}
+
+// New builds the controller for one group. members are the group's tenant
+// IDs; mon/rec/insts feed the brownout controller (rec may be nil).
+func New(eng *sim.Engine, group string, p float64, members []string,
+	insts []*mppdb.Instance, mon *monitor.GroupMonitor, rec *recovery.Controller,
+	cfg Config) (*Controller, error) {
+	if eng == nil {
+		return nil, fmt.Errorf("admission: nil engine")
+	}
+	if mon == nil {
+		return nil, fmt.Errorf("admission: nil monitor for group %s", group)
+	}
+	if p <= 0 || p >= 1 {
+		return nil, fmt.Errorf("admission: guarantee P=%v out of (0,1)", p)
+	}
+	cfg.normalize()
+	enter := cfg.BrownoutEnter
+	if enter <= 0 {
+		enter = p + (1-p)/2
+	}
+	if enter <= p || enter >= 1 {
+		return nil, fmt.Errorf("admission: brownout-enter %v must lie in (P=%v, 1)", enter, p)
+	}
+	c := &Controller{
+		eng:    eng,
+		group:  group,
+		p:      p,
+		enter:  enter,
+		cfg:    cfg,
+		mon:    mon,
+		rec:    rec,
+		insts:  insts,
+		states: make(map[string]*tenantState, len(members)),
+	}
+	for _, id := range members {
+		ct, ok := cfg.Contracts[id]
+		if !ok {
+			ct = cfg.Default
+		}
+		ts := &tenantState{tenant: id, contract: ct}
+		if !ct.Unlimited() {
+			ts.bucket = newBucket(ct)
+			ts.mirror()
+		}
+		c.states[id] = ts
+		c.order = append(c.order, id)
+	}
+	sort.Strings(c.order)
+	return c, nil
+}
+
+// Group returns the controller's tenant-group ID.
+func (c *Controller) Group() string { return c.group }
+
+// SetTelemetry wires the hub; call before Start.
+func (c *Controller) SetTelemetry(h *telemetry.Hub) {
+	if h == nil {
+		return
+	}
+	c.tel = h
+	c.mAdmitted = h.Registry.Counter("thrifty_admission_admitted_total", "group", c.group)
+	c.mThrottled = h.Registry.Counter("thrifty_admission_throttled_total", "group", c.group)
+	c.mShed = map[string]*telemetry.Counter{
+		ShedQueueFull:  h.Registry.Counter("thrifty_admission_shed_total", "group", c.group, "reason", ShedQueueFull),
+		ShedDeadline:   h.Registry.Counter("thrifty_admission_shed_total", "group", c.group, "reason", ShedDeadline),
+		ShedBestEffort: h.Registry.Counter("thrifty_admission_shed_total", "group", c.group, "reason", ShedBestEffort),
+	}
+	c.gLevel = h.Registry.Gauge("thrifty_admission_brownout_level", "group", c.group)
+	c.gQueue = h.Registry.Gauge("thrifty_admission_queue_depth", "group", c.group)
+}
+
+// OnLevelChange registers a callback fired (under the clock domain) when
+// the brownout level changes. Call before Start.
+func (c *Controller) OnLevelChange(fn func(level int)) { c.onLevelChange = fn }
+
+// OnTick registers a callback fired (under the clock domain) after every
+// brownout evaluation. Call before Start.
+func (c *Controller) OnTick(fn func()) { c.onTick = fn }
+
+// Start arms the periodic brownout evaluation on the group's virtual
+// clock. Must be called under the clock domain (master calls it during
+// deploy). Idempotent.
+func (c *Controller) Start() {
+	if c.started {
+		return
+	}
+	c.started = true
+	c.scheduleTick()
+}
+
+func (c *Controller) scheduleTick() {
+	c.eng.After(c.cfg.TickInterval, func(sim.Time) {
+		c.tick()
+		c.scheduleTick()
+	})
+}
+
+// tick re-evaluates the brownout level from the live RT-TTP estimate, the
+// group's instantaneous pressure (every MPPDB claimed by an active tenant —
+// the next uncovered arrival shares), and its recovery state.
+func (c *Controller) tick() {
+	rt := c.mon.RTTTP()
+	degraded := 0
+	for _, inst := range c.insts {
+		if inst.FailedNodes() > 0 || inst.State() != mppdb.Ready {
+			degraded++
+		}
+	}
+	pressure := len(c.insts) > 0 && c.mon.ActiveTenants() >= len(c.insts)
+	level := LevelNormal
+	switch {
+	case rt < c.p:
+		level = LevelShedBestEffort
+	case rt < c.enter || pressure || degraded > 0 || (c.rec != nil && c.rec.InProgress() > 0):
+		level = LevelThrottleHot
+	}
+	prev := int(c.level.Swap(int32(level)))
+	if level != prev {
+		if c.gLevel != nil {
+			c.gLevel.Set(float64(level))
+		}
+		if c.tel != nil {
+			typ := telemetry.EventBrownoutEntered
+			if level == LevelNormal {
+				typ = telemetry.EventBrownoutCleared
+			}
+			c.tel.Events.Publish(telemetry.Event{
+				Type:   typ,
+				Group:  c.group,
+				Value:  float64(level),
+				Detail: fmt.Sprintf("rt_ttp=%.6f degraded=%d", rt, degraded),
+			})
+		}
+		if c.onLevelChange != nil {
+			c.onLevelChange(level)
+		}
+	}
+	if c.onTick != nil {
+		c.onTick()
+	}
+}
+
+// Level returns the current brownout level. Lock-free.
+func (c *Controller) Level() int { return int(c.level.Load()) }
+
+// QueueDepth returns how many submits wait in the admission queue.
+// Lock-free.
+func (c *Controller) QueueDepth() int { return int(c.waiting.Load()) }
+
+// Admit decides whether one query from tenant may enter the group now.
+// Must run under the group's clock domain. A nil return admits; otherwise
+// the error is a *ContractExceededError (429) or *ShedError (503).
+func (c *Controller) Admit(tenant string, sla sim.Time, bestEffort bool) error {
+	level := int(c.level.Load())
+	ts := c.states[tenant]
+	if bestEffort && level >= LevelShedBestEffort {
+		if ts != nil {
+			ts.shed.Add(1)
+		}
+		c.countShed(tenant, ShedBestEffort, "brownout sheds best-effort traffic")
+		return &ShedError{
+			Group: c.group, Tenant: tenant, Reason: ShedBestEffort,
+			RetryAfter: sim.Duration(c.cfg.TickInterval),
+		}
+	}
+	if ts == nil || ts.bucket == nil {
+		// Unknown or unlimited tenant: admit (the router enforces
+		// membership; unlimited contracts are counted only).
+		if ts != nil {
+			ts.admitted.Add(1)
+		}
+		if c.mAdmitted != nil {
+			c.mAdmitted.Inc()
+		}
+		return nil
+	}
+	// During brownout a tenant must hold HotFraction of its burst in
+	// reserve: only tenants that sustained submission above their
+	// contracted rate have drained below that watermark, so they are
+	// rejected first while contract-abiding tenants pass untouched.
+	need := 1.0
+	if level >= LevelThrottleHot {
+		if hot := c.cfg.HotFraction * ts.contract.Burst; hot+1 > need {
+			need = hot + 1
+		}
+	}
+	now := c.eng.Now()
+	ok, retryAfter := ts.bucket.take(now, need)
+	if ok {
+		ts.strikes = 0
+	} else {
+		ts.strikes++
+		if level >= LevelThrottleHot || ts.strikes >= c.cfg.StrikeLimit {
+			// Punitive policing: a tenant that keeps submitting while
+			// rejected — brownout in effect, or StrikeLimit consecutive
+			// denials with Retry-After ignored — restarts its refill from
+			// zero, so only actually backing off readmits it.
+			ts.bucket.punish()
+			retryAfter = ts.bucket.eta(need)
+		}
+	}
+	ts.mirror()
+	if !ok {
+		ts.throttled.Add(1)
+		if c.mThrottled != nil {
+			c.mThrottled.Inc()
+		}
+		if c.tel != nil {
+			c.tel.Events.Publish(telemetry.Event{
+				Type:   telemetry.EventContractExceeded,
+				Group:  c.group,
+				Tenant: tenant,
+				Value:  retryAfter.Seconds(),
+				Detail: fmt.Sprintf("level=%d %s", level, ts.contract),
+			})
+		}
+		return &ContractExceededError{
+			Group: c.group, Tenant: tenant,
+			RetryAfter: retryAfter, Brownout: level >= LevelThrottleHot,
+		}
+	}
+	ts.admitted.Add(1)
+	if c.mAdmitted != nil {
+		c.mAdmitted.Inc()
+	}
+	return nil
+}
+
+// EnterQueue claims a slot in the bounded admission queue for a submit
+// whose first attempt failed transiently and will retry after delay.
+// Must run under the group's clock domain. It sheds immediately — typed
+// *ShedError — when the queue is full or the projected start delay alone
+// would blow the query's SLA deadline (no wasted work). A nil return means
+// the slot is held until LeaveQueue.
+func (c *Controller) EnterQueue(tenant string, sla, delay sim.Time) error {
+	if sla > 0 {
+		slack := sim.Time(float64(sla) * (c.cfg.DeadlineFactor - 1))
+		if delay > slack {
+			c.shedTenant(tenant)
+			c.countShed(tenant, ShedDeadline,
+				fmt.Sprintf("start delay %v exceeds deadline slack %v", delay, slack))
+			return &ShedError{
+				Group: c.group, Tenant: tenant, Reason: ShedDeadline,
+				RetryAfter: delay,
+			}
+		}
+	}
+	if int(c.waiting.Load()) >= c.cfg.MaxQueue {
+		c.shedTenant(tenant)
+		c.countShed(tenant, ShedQueueFull,
+			fmt.Sprintf("admission queue at capacity %d", c.cfg.MaxQueue))
+		return &ShedError{
+			Group: c.group, Tenant: tenant, Reason: ShedQueueFull,
+			RetryAfter: delay,
+		}
+	}
+	d := c.waiting.Add(1)
+	if c.gQueue != nil {
+		c.gQueue.Set(float64(d))
+	}
+	return nil
+}
+
+// LeaveQueue releases a slot claimed by EnterQueue. Must run under the
+// group's clock domain.
+func (c *Controller) LeaveQueue() {
+	d := c.waiting.Add(-1)
+	if c.gQueue != nil {
+		c.gQueue.Set(float64(d))
+	}
+}
+
+func (c *Controller) shedTenant(tenant string) {
+	if ts := c.states[tenant]; ts != nil {
+		ts.shed.Add(1)
+	}
+}
+
+func (c *Controller) countShed(tenant, reason, detail string) {
+	if m := c.mShed[reason]; m != nil {
+		m.Inc()
+	}
+	if c.tel != nil {
+		c.tel.Events.Publish(telemetry.Event{
+			Type:   telemetry.EventQueryShed,
+			Group:  c.group,
+			Tenant: tenant,
+			Detail: reason + ": " + detail,
+		})
+	}
+}
+
+// TenantStats returns every member's admission accounting, sorted by
+// tenant ID. Lock-free.
+func (c *Controller) TenantStats() []TenantStat {
+	out := make([]TenantStat, 0, len(c.order))
+	for _, id := range c.order {
+		ts := c.states[id]
+		st := TenantStat{
+			Tenant:    id,
+			Rate:      ts.contract.Rate,
+			Burst:     ts.contract.Burst,
+			Admitted:  ts.admitted.Load(),
+			Throttled: ts.throttled.Load(),
+			Shed:      ts.shed.Load(),
+		}
+		if ts.bucket != nil {
+			st.Tokens = math.Float64frombits(ts.tokens.Load())
+		}
+		out = append(out, st)
+	}
+	return out
+}
+
+// Snapshot returns the group's full admission state. Lock-free.
+func (c *Controller) Snapshot() Snapshot {
+	level := c.Level()
+	return Snapshot{
+		Group:        c.group,
+		Level:        level,
+		QueueDepth:   c.QueueDepth(),
+		SheddingOnly: level >= LevelShedBestEffort,
+		Tenants:      c.TenantStats(),
+	}
+}

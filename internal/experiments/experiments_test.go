@@ -299,3 +299,31 @@ func TestDivergentDesignExperiment(t *testing.T) {
 		t.Error("no k where only the divergent design is feasible — the §8 motivation is missing")
 	}
 }
+
+func TestOverloadStormTiny(t *testing.T) {
+	if testing.Short() {
+		t.Skip("replays a storm against two deployments")
+	}
+	env := testEnv(t)
+	tables, err := OverloadStorm(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 || len(tables[0].Rows) == 0 || len(tables[1].Rows) == 0 {
+		t.Fatalf("tables: %v", tables)
+	}
+	summary := tables[1].String()
+	// The admission-controlled run must protect every compliant tenant and
+	// actually throttle the storm; baseline damage is asserted at full
+	// storm scale in the chaos package.
+	if !strings.Contains(summary, "PASS") {
+		t.Fatalf("protection verdict not PASS:\n%s", summary)
+	}
+	for _, row := range tables[1].Rows {
+		if row[0] == "storm throttled (429)" {
+			if n := atof(t, row[3]); n <= 0 {
+				t.Fatalf("admission run throttled %v storm queries:\n%s", n, summary)
+			}
+		}
+	}
+}

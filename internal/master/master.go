@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/advisor"
 	"repro/internal/cluster"
 	"repro/internal/monitor"
@@ -52,6 +53,12 @@ type Options struct {
 	// (§4.4) per group with this config. The service path sets it; replay
 	// arms controllers itself when failures are injected.
 	Recovery *recovery.Config
+	// Admission, when non-nil, arms an overload-protection controller per
+	// group with this config: per-tenant contract buckets, a bounded
+	// admission queue, and a brownout loop watching the group's live
+	// RT-TTP and recovery state. Strictly opt-in so the bare replay path
+	// stays byte-identical.
+	Admission *admission.Config
 }
 
 // DefaultOptions returns the thesis' run-time settings.
@@ -182,6 +189,21 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 			rc.SetTelemetry(tel)
 			rc.Start()
 			g.Recovery = rc
+		}
+		if m.opts.Admission != nil {
+			ac, err := admission.New(eng, pg.ID, plan.Config.P, pg.TenantIDs,
+				g.Instances, mon, g.Recovery, *m.opts.Admission)
+			if err != nil {
+				return nil, err
+			}
+			ac.SetTelemetry(tel)
+			grt := g
+			ac.OnLevelChange(func(level int) {
+				grt.SetSheddingOnly(level >= admission.LevelShedBestEffort)
+			})
+			ac.OnTick(grt.CacheStats)
+			ac.Start()
+			g.Admission = ac
 		}
 		dep.plane.Add(g)
 		dep.ready[pg.ID] = readyAt

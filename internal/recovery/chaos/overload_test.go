@@ -1,0 +1,211 @@
+package chaos
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/admission"
+	"repro/internal/advisor"
+	"repro/internal/cluster"
+	"repro/internal/master"
+	"repro/internal/queries"
+	"repro/internal/sim"
+	"repro/internal/telemetry"
+	"repro/internal/tenant"
+	"repro/internal/workload"
+)
+
+// overloadWorld builds a shared-domain deployment for storm runs. admit
+// arms per-group admission with contracts derived from the logs; the
+// monitor window and brownout tick are tightened so the protection loop
+// reacts within the test's short horizon.
+func overloadWorld(t *testing.T, tenants, days int, admit bool) *world {
+	t.Helper()
+	cat := queries.Default()
+	lib, err := workload.BuildLibrary(cat, []int{2}, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	pop, err := tenant.Population(rng, tenants, 0.8, []int{2}, tenant.ZoneOffsets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ccfg := workload.DefaultComposeConfig(3)
+	ccfg.Days = days
+	ccfg.Holidays = 0
+	logs, err := workload.Compose(lib, pop, ccfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	acfg := advisor.DefaultConfig()
+	acfg.R = 2
+	adv, err := advisor.New(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := adv.Plan(logs, ccfg.Horizon())
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := master.Options{Immediate: true, MonitorWindow: time.Hour}
+	if admit {
+		cfg := admission.DefaultConfig()
+		cfg.Contracts = admission.ContractsFromLogs(logs, cfg.Headroom)
+		cfg.TickInterval = 5 * time.Second
+		opts.Admission = &cfg
+	}
+	eng := sim.NewEngine()
+	pool := cluster.NewPool(plan.NodesUsed())
+	m := master.New(eng, pool, opts)
+	byID := map[string]*tenant.Tenant{}
+	for _, tn := range pop {
+		byID[tn.ID] = tn
+	}
+	dep, err := m.Deploy(plan, byID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &world{eng: eng, cat: cat, dep: dep, logs: logs, plan: plan}
+}
+
+func stormConfig() OverloadConfig {
+	cfg := DefaultOverloadConfig()
+	cfg.Seed = 11
+	cfg.From, cfg.To = 0, 12*sim.Hour
+	cfg.DrainSlack = 2 * time.Hour
+	return cfg
+}
+
+// TestOverloadProtection is the acceptance run: the identical seeded storm
+// against two fresh deployments. Without admission the aggressor's open
+// loop burns a compliant co-tenant's SLA below the plan's P; with admission
+// armed the aggressor is throttled with typed 429s and every compliant
+// member's attainment holds the guarantee.
+func TestOverloadProtection(t *testing.T) {
+	cfg := stormConfig()
+
+	base := overloadWorld(t, 12, 2, false)
+	baseRes, err := RunOverload(base.eng, base.dep, base.cat, base.logs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := base.plan.Config.P
+	if baseRes.AdmissionOn {
+		t.Fatal("baseline unexpectedly has admission armed")
+	}
+	if baseRes.MinCompliantAttainment >= p {
+		t.Fatalf("baseline storm did no damage: min compliant attainment %.6f >= %.6f",
+			baseRes.MinCompliantAttainment, p)
+	}
+
+	prot := overloadWorld(t, 12, 2, true)
+	protRes, err := RunOverload(prot.eng, prot.dep, prot.cat, prot.logs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !protRes.AdmissionOn {
+		t.Fatal("protected run has no admission")
+	}
+	if err := protRes.Verify(p); err != nil {
+		t.Fatalf("protected run: %v (outcomes %+v)", err, protRes.Outcomes)
+	}
+	if protRes.StormThrottled == 0 {
+		t.Fatalf("aggressor never saw a typed 429: %+v", protRes)
+	}
+	hub := prot.dep.Telemetry()
+	if n := countEvents(hub, telemetry.EventContractExceeded); n == 0 {
+		t.Fatal("no contract_exceeded events published")
+	}
+	// The throttle counters must be visible in the registry.
+	var buf bytes.Buffer
+	if err := hub.Registry.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(buf.Bytes(), []byte("thrifty_admission_throttled_total")) {
+		t.Fatal("metrics lack thrifty_admission_throttled_total")
+	}
+	t.Logf("baseline min compliant attainment %.6f; protected %.6f, storm %d submitted / %d admitted / %d throttled / %d shed",
+		baseRes.MinCompliantAttainment, protRes.MinCompliantAttainment,
+		protRes.StormSubmitted, protRes.StormAdmitted, protRes.StormThrottled, protRes.StormShed)
+}
+
+// TestOverloadTelemetryDeterminism: two fresh same-seed storm runs emit
+// byte-identical telemetry dumps — the admission layer preserves the
+// shared-domain determinism contract.
+func TestOverloadTelemetryDeterminism(t *testing.T) {
+	dump := func() (string, string) {
+		w := overloadWorld(t, 12, 2, true)
+		if _, err := RunOverload(w.eng, w.dep, w.cat, w.logs, stormConfig()); err != nil {
+			t.Fatal(err)
+		}
+		hub := w.dep.Telemetry()
+		var ev, tr bytes.Buffer
+		if err := hub.Events.Dump(&ev); err != nil {
+			t.Fatal(err)
+		}
+		if err := hub.Tracer.Dump(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return ev.String(), tr.String()
+	}
+	ev1, tr1 := dump()
+	ev2, tr2 := dump()
+	if ev1 != ev2 {
+		t.Fatal("same-seed overload runs emitted different event dumps")
+	}
+	if tr1 != tr2 {
+		t.Fatal("same-seed overload runs emitted different trace dumps")
+	}
+	if len(ev1) == 0 {
+		t.Fatal("overload run emitted no events")
+	}
+}
+
+// TestOverloadSmoke is the bounded CI gate (make overload-smoke): a short
+// seeded storm against a protected deployment must be contained.
+func TestOverloadSmoke(t *testing.T) {
+	cfg := stormConfig()
+	cfg.To = 4 * sim.Hour
+	cfg.MaxStorm = 500
+	cfg.DrainSlack = time.Hour
+	w := overloadWorld(t, 8, 1, true)
+	res, err := RunOverload(w.eng, w.dep, w.cat, w.logs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Verify(w.plan.Config.P); err != nil {
+		t.Fatal(err)
+	}
+	if res.StormThrottled == 0 {
+		t.Fatalf("smoke storm never throttled: %+v", res)
+	}
+}
+
+// TestOverloadValidation rejects malformed configs and sharded deployments.
+func TestOverloadValidation(t *testing.T) {
+	w := newWorld(t, 6, 1, 2, true, 1) // sharded
+	cfg := DefaultOverloadConfig()
+	cfg.From, cfg.To = 0, sim.Hour
+	if _, err := RunOverload(nil, w.dep, w.cat, w.logs, cfg); err == nil {
+		t.Fatal("sharded deployment accepted")
+	}
+	ws := overloadWorld(t, 6, 1, false)
+	bad := cfg
+	bad.To = 0
+	if _, err := RunOverload(ws.eng, ws.dep, ws.cat, ws.logs, bad); err == nil {
+		t.Fatal("empty window accepted")
+	}
+	bad = cfg
+	bad.Factor = 1
+	if _, err := RunOverload(ws.eng, ws.dep, ws.cat, ws.logs, bad); err == nil {
+		t.Fatal("Factor <= 1 accepted")
+	}
+	bad = cfg
+	bad.Aggressors = 100
+	if _, err := RunOverload(ws.eng, ws.dep, ws.cat, ws.logs, bad); err == nil {
+		t.Fatal("oversized aggressor count accepted")
+	}
+}

@@ -15,8 +15,10 @@ package runtime
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/advisor"
 	"repro/internal/monitor"
 	"repro/internal/mppdb"
@@ -43,8 +45,19 @@ type GroupRuntime struct {
 	// controller (§4.4), armed by the Deployment Master or the replay
 	// failure injector. It lives on the group's engine.
 	Recovery *recovery.Controller
+	// Admission, when non-nil, is the group's overload-protection
+	// controller: per-tenant contract buckets, the bounded admission
+	// queue, and the brownout loop. It lives on the group's engine and is
+	// consulted by SubmitGoverned.
+	Admission *admission.Controller
 
 	dom *sim.Domain
+
+	// sheddingOnly is set by the brownout controller at its top level:
+	// stats readers then serve the cached snapshot instead of advancing or
+	// locking the overloaded group's domain.
+	sheddingOnly atomic.Bool
+	lastStats    atomic.Pointer[Stats]
 
 	// Telemetry (optional): submit-path retry/timeout instrumentation.
 	tel      *telemetry.Hub
@@ -142,6 +155,20 @@ func (e *TimeoutError) Unwrap() error { return e.Last }
 // number of retries used by a successful submit.
 func (g *GroupRuntime) SubmitWithRetry(at sim.Time, tenantID string, class *queries.Class,
 	sla sim.Time, pol RetryPolicy) (string, int, error) {
+	return g.SubmitGoverned(at, tenantID, class, sla, pol, false)
+}
+
+// SubmitGoverned is SubmitWithRetry behind the group's admission controller
+// (when armed): the first attempt must pass the tenant's contract bucket and
+// the brownout policy — a typed *admission.ContractExceededError (429) or
+// *admission.ShedError (503) is returned immediately, before any routing
+// work. A submit that fails transiently claims a slot in the bounded
+// admission queue for the wait; if the queue is full, or the projected start
+// delay alone would blow the query's SLA deadline, the query is shed with a
+// typed *admission.ShedError instead of occupying the group. bestEffort
+// marks traffic the brownout controller may drop wholesale at its top level.
+func (g *GroupRuntime) SubmitGoverned(at sim.Time, tenantID string, class *queries.Class,
+	sla sim.Time, pol RetryPolicy, bestEffort bool) (string, int, error) {
 	if pol.Backoff <= 0 {
 		pol.Backoff = 15 * time.Second
 	}
@@ -149,15 +176,35 @@ func (g *GroupRuntime) SubmitWithRetry(at sim.Time, tenantID string, class *quer
 	if pol.Timeout > 0 {
 		deadline = at + sim.Duration(pol.Timeout)
 	}
+	adm := g.Admission
+	queued := false
+	leave := func() {
+		// In-domain only.
+		if queued {
+			adm.LeaveQueue()
+			queued = false
+		}
+	}
 	t := at
 	for retries := 0; ; retries++ {
 		var db string
-		var err error
+		var err, admErr error
 		var known bool
 		g.dom.Advance(t, func(*sim.Engine) {
+			if adm != nil && retries == 0 {
+				if admErr = adm.Admit(tenantID, sla, bestEffort); admErr != nil {
+					return
+				}
+			}
 			db, err = g.Router.SubmitWithTarget(tenantID, class, sla)
 			known = g.Router.HasTenant(tenantID)
+			if err == nil || !known {
+				leave()
+			}
 		})
+		if admErr != nil {
+			return "", retries, admErr
+		}
 		if err == nil {
 			if g.hRetries != nil {
 				g.hRetries.Observe(float64(retries))
@@ -169,6 +216,16 @@ func (g *GroupRuntime) SubmitWithRetry(at sim.Time, tenantID string, class *quer
 			return "", retries, err
 		}
 		if next := t + sim.Duration(pol.Backoff); retries < pol.MaxRetries && next <= deadline {
+			if adm != nil && !queued {
+				var shedErr error
+				g.dom.Do(func(*sim.Engine) {
+					shedErr = adm.EnterQueue(tenantID, sla, next-at)
+					queued = shedErr == nil
+				})
+				if shedErr != nil {
+					return "", retries, shedErr
+				}
+			}
 			if g.tel != nil {
 				g.mRetried.Inc()
 				g.tel.Events.Publish(telemetry.Event{
@@ -181,6 +238,9 @@ func (g *GroupRuntime) SubmitWithRetry(at sim.Time, tenantID string, class *quer
 			}
 			t = next
 			continue
+		}
+		if queued {
+			g.dom.Do(func(*sim.Engine) { leave() })
 		}
 		if g.tel != nil {
 			g.mTimeout.Inc()
@@ -216,7 +276,8 @@ type Stats struct {
 	Instances     []mppdb.Snapshot
 }
 
-// snapshot collects Stats; the caller must hold the group's domain.
+// snapshot collects Stats; the caller must hold the group's domain. The
+// snapshot is also cached for shedding-only readers.
 func (g *GroupRuntime) snapshot() Stats {
 	st := Stats{
 		Group:         g.Plan.ID,
@@ -230,18 +291,45 @@ func (g *GroupRuntime) snapshot() Stats {
 	for _, inst := range g.Instances {
 		st.Instances = append(st.Instances, inst.Snapshot())
 	}
+	g.lastStats.Store(&st)
 	return st
 }
 
-// Stats snapshots the group at its current virtual time.
+// CacheStats refreshes the cached snapshot; the caller must hold the
+// group's domain. The admission controller's brownout tick calls it so
+// shedding-only readers see stats no staler than one tick.
+func (g *GroupRuntime) CacheStats() { g.snapshot() }
+
+// SetSheddingOnly marks the group shedding-only: stats readers serve the
+// cached snapshot instead of advancing or locking the group's domain, so
+// read endpoints stay fast while the group digs out of overload. The
+// brownout controller toggles it at its top level.
+func (g *GroupRuntime) SetSheddingOnly(v bool) { g.sheddingOnly.Store(v) }
+
+// SheddingOnly reports whether the group is marked shedding-only.
+func (g *GroupRuntime) SheddingOnly() bool { return g.sheddingOnly.Load() }
+
+// Stats snapshots the group at its current virtual time. A shedding-only
+// group returns its cached snapshot without touching the domain.
 func (g *GroupRuntime) Stats() Stats {
+	if g.sheddingOnly.Load() {
+		if st := g.lastStats.Load(); st != nil {
+			return *st
+		}
+	}
 	var st Stats
 	g.dom.Do(func(*sim.Engine) { st = g.snapshot() })
 	return st
 }
 
-// StatsAt advances the group to at and snapshots it.
+// StatsAt advances the group to at and snapshots it. A shedding-only group
+// returns its cached snapshot without advancing or locking the domain.
 func (g *GroupRuntime) StatsAt(at sim.Time) Stats {
+	if g.sheddingOnly.Load() {
+		if st := g.lastStats.Load(); st != nil {
+			return *st
+		}
+	}
 	var st Stats
 	g.dom.Advance(at, func(*sim.Engine) { st = g.snapshot() })
 	return st
@@ -264,6 +352,7 @@ type Plane struct {
 	groups  []*GroupRuntime
 	byTen   map[string]*GroupRuntime
 	domains sim.Domains
+	byDom   map[*sim.Domain][]*GroupRuntime
 	sharded bool
 	hub     *telemetry.Hub
 }
@@ -271,7 +360,12 @@ type Plane struct {
 // NewPlane creates an empty plane. sharded records whether groups run on
 // private clock domains (service mode) or share one (experiment mode).
 func NewPlane(hub *telemetry.Hub, sharded bool) *Plane {
-	return &Plane{byTen: make(map[string]*GroupRuntime), sharded: sharded, hub: hub}
+	return &Plane{
+		byTen:   make(map[string]*GroupRuntime),
+		byDom:   make(map[*sim.Domain][]*GroupRuntime),
+		sharded: sharded,
+		hub:     hub,
+	}
 }
 
 // Add registers a bound group: it is indexed by member tenant and its domain
@@ -281,6 +375,7 @@ func (p *Plane) Add(g *GroupRuntime) {
 	for _, tn := range g.Members {
 		p.byTen[tn.ID] = g
 	}
+	p.byDom[g.dom] = append(p.byDom[g.dom], g)
 	for _, d := range p.domains {
 		if d == g.dom {
 			return
@@ -315,10 +410,29 @@ func (p *Plane) Now() sim.Time { return p.domains.Now() }
 
 // AdvanceAll drives every domain up to the target time. Read-side endpoints
 // use it so a scrape reflects everything that should have happened by now.
+// A domain whose groups are all shedding-only is skipped: the brownout
+// controller owns its pacing, and a scrape must not queue behind — or pile
+// extra work onto — an overloaded group.
 func (p *Plane) AdvanceAll(at sim.Time) {
 	for _, d := range p.domains {
+		if p.allShedding(d) {
+			continue
+		}
 		d.Advance(at, nil)
 	}
+}
+
+func (p *Plane) allShedding(d *sim.Domain) bool {
+	gs := p.byDom[d]
+	if len(gs) == 0 {
+		return false
+	}
+	for _, g := range gs {
+		if !g.SheddingOnly() {
+			return false
+		}
+	}
+	return true
 }
 
 // Records returns a copy of all completed query records, concatenated in

@@ -41,10 +41,9 @@ func TestSubmitRetryTimeout(t *testing.T) {
 		}
 	})
 
-	var out map[string]any
-	code := post(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", Query: "TPCH-Q6"}, &out)
-	if code != http.StatusGatewayTimeout {
-		t.Fatalf("status %d with no ready replica, want 504 (body %v)", code, out)
+	resp, out := postRaw(t, ts, "/v1/queries", SubmitRequest{Tenant: "t1", Query: "TPCH-Q6"})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d with no ready replica, want 504 (body %v)", resp.StatusCode, out)
 	}
 	if out["kind"] != "timeout" {
 		t.Errorf("kind = %v, want timeout", out["kind"])
@@ -52,6 +51,11 @@ func TestSubmitRetryTimeout(t *testing.T) {
 	// Attempts at 0 s, 10 s, 20 s exhaust MaxRetries=2.
 	if out["attempts"] != float64(3) {
 		t.Errorf("attempts = %v, want 3", out["attempts"])
+	}
+	// The 504 advises when to retry: one backoff (10 virtual seconds),
+	// scaled to wall time and rounded up to a whole second.
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("504 Retry-After = %q, want \"1\"", ra)
 	}
 
 	// A replica returns — the same submit is accepted on the first attempt.

@@ -26,6 +26,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"sort"
 	"strconv"
@@ -33,6 +34,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/advisor"
 	"repro/internal/billing"
 	"repro/internal/master"
@@ -147,6 +149,7 @@ func New(dep *master.Deployment, cat *queries.Catalog,
 	s.mux.HandleFunc("GET /v1/invoices", s.handleInvoices)
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
+	s.mux.HandleFunc("GET /v1/admission", s.handleAdmission)
 	if !cfg.DisableMetrics {
 		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	}
@@ -166,6 +169,17 @@ func (s *Server) target() sim.Time {
 	elapsed := s.now().Sub(s.started).Seconds() * s.timeScale
 	s.clockMu.Unlock()
 	return sim.Time(elapsed * float64(sim.Second))
+}
+
+// wallRetryAfter renders a virtual-time backoff as a Retry-After header
+// value: whole wall-clock seconds under the service's time scale, at
+// least 1 so clients always get a usable hint.
+func (s *Server) wallRetryAfter(d sim.Time) string {
+	secs := math.Ceil(d.Seconds() / s.timeScale)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.Itoa(int(secs))
 }
 
 // Install swaps in a re-consolidated deployment and its plan (§3c/§5.1: the
@@ -364,6 +378,10 @@ type SubmitRequest struct {
 	Tenant string `json:"tenant"`
 	Query  string `json:"query,omitempty"`
 	SQL    string `json:"sql,omitempty"`
+	// BestEffort marks the query as droppable: during a brownout the
+	// admission controller sheds best-effort traffic before it would ever
+	// touch contract-abiding SLA traffic.
+	BestEffort bool `json:"best_effort,omitempty"`
 }
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -407,12 +425,35 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusUnprocessableEntity, "tenant %s not deployed", req.Tenant)
 		return
 	}
-	db, retries, err := g.SubmitWithRetry(t, req.Tenant, class, 0, s.retry)
+	db, retries, err := g.SubmitGoverned(t, req.Tenant, class, 0, s.retry, req.BestEffort)
 	now := g.Now()
 	s.topo.RUnlock()
 	if err != nil {
+		var ce *admission.ContractExceededError
+		if errors.As(err, &ce) {
+			w.Header().Set("Retry-After", s.wallRetryAfter(ce.RetryAfter))
+			writeJSON(w, http.StatusTooManyRequests, map[string]any{
+				"error":               ce.Error(),
+				"kind":                "contract_exceeded",
+				"retry_after_virtual": ce.RetryAfter.String(),
+				"brownout":            ce.Brownout,
+			})
+			return
+		}
+		var se *admission.ShedError
+		if errors.As(err, &se) {
+			w.Header().Set("Retry-After", s.wallRetryAfter(se.RetryAfter))
+			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+				"error":               se.Error(),
+				"kind":                "shed",
+				"reason":              se.Reason,
+				"retry_after_virtual": se.RetryAfter.String(),
+			})
+			return
+		}
 		var te *runtime.TimeoutError
 		if errors.As(err, &te) {
+			w.Header().Set("Retry-After", s.wallRetryAfter(sim.Duration(s.retry.Backoff)))
 			writeJSON(w, http.StatusGatewayTimeout, map[string]any{
 				"error":    te.Error(),
 				"kind":     "timeout",
@@ -589,20 +630,83 @@ func (s *Server) handleSLO(w http.ResponseWriter, r *http.Request) {
 		Attainment      float64 `json:"attainment"`
 		WorstNormalized float64 `json:"worst_normalized"`
 		OK              bool    `json:"ok"`
+		// Admission accounting: queries rejected over contract (429) and
+		// shed without running (503). Attainment covers completed queries
+		// only, so these surface overload pressure the SLA math cannot.
+		Throttled int64 `json:"throttled,omitempty"`
+		Shed      int64 `json:"shed,omitempty"`
 	}
+	// Per-tenant shed/throttle accounting from the groups' admission
+	// controllers (lock-free reads; no clock domain touched).
+	type admTally struct{ throttled, shed int64 }
+	tallies := make(map[string]admTally)
+	s.topo.RLock()
+	for _, g := range s.dep.Groups() {
+		if g.Admission == nil {
+			continue
+		}
+		for _, st := range g.Admission.TenantStats() {
+			if st.Throttled != 0 || st.Shed != 0 {
+				tallies[st.Tenant] = admTally{throttled: st.Throttled, shed: st.Shed}
+			}
+		}
+	}
+	s.topo.RUnlock()
 	rep := hub.SLA.Report()
 	tenants := make([]tenantJSON, 0, len(rep))
 	for _, tn := range rep {
-		tenants = append(tenants, tenantJSON{
+		tj := tenantJSON{
 			Tenant: tn.Tenant, Met: tn.Met, Missed: tn.Missed,
 			Attainment: tn.Attainment, WorstNormalized: tn.WorstNormalized,
 			OK: tn.OK,
+		}
+		if ad, ok := tallies[tn.Tenant]; ok {
+			tj.Throttled, tj.Shed = ad.throttled, ad.shed
+			delete(tallies, tn.Tenant)
+		}
+		tenants = append(tenants, tj)
+	}
+	// Tenants throttled or shed before completing a single query have no
+	// SLA row yet; report them too, in deterministic order.
+	rest := make([]string, 0, len(tallies))
+	for id := range tallies {
+		rest = append(rest, id)
+	}
+	sort.Strings(rest)
+	for _, id := range rest {
+		ad := tallies[id]
+		tenants = append(tenants, tenantJSON{
+			Tenant: id, Attainment: 1, OK: true,
+			Throttled: ad.throttled, Shed: ad.shed,
 		})
 	}
+	sort.Slice(tenants, func(i, j int) bool { return tenants[i].Tenant < tenants[j].Tenant })
 	writeJSON(w, http.StatusOK, map[string]any{
 		"p":                  hub.SLA.P(),
 		"overall_attainment": hub.SLA.Overall(),
 		"tenants":            tenants,
+	})
+}
+
+// handleAdmission exposes the groups' admission state: brownout level,
+// queue depth, and per-tenant contract accounting. It is a pure lock-free
+// read — no clock domain is advanced or locked — so it stays responsive
+// even while groups are overloaded.
+func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
+	s.topo.RLock()
+	groups := make([]admission.Snapshot, 0)
+	for _, g := range s.dep.Groups() {
+		if g.Admission == nil {
+			continue
+		}
+		snap := g.Admission.Snapshot()
+		snap.SheddingOnly = g.SheddingOnly()
+		groups = append(groups, snap)
+	}
+	s.topo.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled": len(groups) > 0,
+		"groups":  groups,
 	})
 }
 

@@ -50,6 +50,19 @@ const (
 	// EventQueryTimeout: a submit exhausted its retry budget and returned a
 	// typed timeout error to the caller.
 	EventQueryTimeout EventType = "query_timeout"
+	// EventContractExceeded: admission control rejected a query because the
+	// tenant ran past its contracted arrival process (429 + Retry-After).
+	EventContractExceeded EventType = "contract_exceeded"
+	// EventQueryShed: admission control shed a query without running it —
+	// the group's queue was full, the query could not start in time to meet
+	// its SLA deadline, or brownout dropped best-effort traffic (503).
+	EventQueryShed EventType = "query_shed"
+	// EventBrownoutEntered: a group's brownout controller raised its shedding
+	// level because the live RT-TTP neared the guarantee P or instances run
+	// degraded.
+	EventBrownoutEntered EventType = "brownout_entered"
+	// EventBrownoutCleared: the group returned to normal admission.
+	EventBrownoutCleared EventType = "brownout_cleared"
 )
 
 // Event is one occurrence on the SLA timeline.

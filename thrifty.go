@@ -25,6 +25,7 @@ import (
 	"net/http"
 	"time"
 
+	"repro/internal/admission"
 	"repro/internal/advisor"
 	"repro/internal/cluster"
 	"repro/internal/master"
@@ -191,12 +192,26 @@ type DeployOptions struct {
 	// service path typically sets it, replay arms controllers itself when
 	// failures are injected.
 	Recovery *RecoveryConfig
+	// Admission arms an overload-protection controller per tenant-group:
+	// per-tenant contract enforcement (token buckets derived from the
+	// workload's per-tenant arrival model), a bounded admission queue with
+	// deadline-aware shedding, and a brownout loop watching the group's
+	// live RT-TTP and recovery state. When the config carries no explicit
+	// Contracts, Deploy derives them from the workload's logs with the
+	// config's Headroom. Nil leaves groups ungoverned (byte-identical
+	// replay).
+	Admission *AdmissionConfig
 }
 
 // Deploy brings the plan up on a fresh simulated cluster.
 func Deploy(w *Workload, plan *Plan, opts DeployOptions) (*System, error) {
 	if opts.MonitorWindow == 0 {
 		opts.MonitorWindow = 24 * time.Hour
+	}
+	if opts.Admission != nil && opts.Admission.Contracts == nil {
+		cfg := *opts.Admission
+		cfg.Contracts = admission.ContractsFromLogs(w.Logs, cfg.Headroom)
+		opts.Admission = &cfg
 	}
 	eng := sim.NewEngine()
 	pool := cluster.NewPool(plan.NodesUsed() + opts.SpareNodes)
@@ -206,6 +221,7 @@ func Deploy(w *Workload, plan *Plan, opts DeployOptions) (*System, error) {
 		MonitorWindow: opts.MonitorWindow,
 		Sharded:       opts.Sharded,
 		Recovery:      opts.Recovery,
+		Admission:     opts.Admission,
 	})
 	dep, err := m.Deploy(plan, w.Tenants())
 	if err != nil {
@@ -235,6 +251,19 @@ type RecoveryConfig = recovery.Config
 // DefaultRecoveryConfig returns 30 s heartbeats and 5 acquisition attempts
 // backing off 1→16 min with an hour between cycles.
 func DefaultRecoveryConfig() RecoveryConfig { return recovery.DefaultConfig() }
+
+// AdmissionConfig re-exports the overload-protection configuration
+// (per-tenant contracts, queue bound, deadline factor, brownout
+// thresholds).
+type AdmissionConfig = admission.Config
+
+// DefaultAdmissionConfig returns 2× contract headroom, a 32-slot admission
+// queue, a 1.25 deadline factor, and 30 s brownout evaluation.
+func DefaultAdmissionConfig() AdmissionConfig { return admission.DefaultConfig() }
+
+// Contract re-exports a tenant's contracted arrival process (token-bucket
+// rate + burst).
+type Contract = admission.Contract
 
 // ScalerConfig re-exports the elastic scaler configuration.
 type ScalerConfig = scaling.Config
