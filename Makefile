@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos-smoke overload-smoke bench
+.PHONY: check vet build test race chaos-smoke overload-smoke grouping-smoke bench bench-grouping
 
-# The full pre-commit gate: static checks, build, the bounded chaos and
-# overload smokes, and the race-enabled suite.
-check: vet build chaos-smoke overload-smoke race
+# The full pre-commit gate: static checks, build, the bounded chaos,
+# overload and grouping smokes, and the race-enabled suite.
+check: vet build chaos-smoke overload-smoke grouping-smoke race
 
 vet:
 	$(GO) vet ./...
@@ -30,5 +30,18 @@ chaos-smoke:
 overload-smoke:
 	$(GO) test -race -short -run TestOverloadSmoke ./internal/recovery/chaos
 
+# Solver-equivalence property tests under the race detector plus a one-shot
+# pass over the solver-scale benchmarks, so a pruning bug or a benchmark
+# bit-rot is caught before commit without paying full benchmark time.
+grouping-smoke:
+	$(GO) test -race -run 'TestSolverMatchesReference' -count=1 ./internal/grouping
+	$(GO) test -bench 'BenchmarkTwoStep2000|BenchmarkPickBest' -benchtime=1x -run '^$$' ./internal/grouping
+
 bench:
-	$(GO) test -bench=. -benchmem
+	$(GO) test -bench=. -benchmem ./...
+
+# Full solver-scale benchmark run; persists ns/op, allocs/op, bytes/op and
+# solution effectiveness to BENCH_grouping.json (committed, so perf
+# regressions show up in review).
+bench-grouping:
+	BENCH_JSON_OUT=$(CURDIR)/BENCH_grouping.json $(GO) test -run TestWriteBenchJSON -count=1 -v ./internal/grouping

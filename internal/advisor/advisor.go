@@ -54,6 +54,11 @@ type Config struct {
 	// U optionally widens every group's tuning MPPDB G₀ by this many nodes
 	// beyond n₁ (§6 manual tuning). 0 keeps U = n₁.
 	UExtra int
+	// SolverWorkers bounds the grouping solver's parallelism (see
+	// grouping.Solver): 0 or 1 solves serially, larger values shard the
+	// T_best candidate scans and solve size classes concurrently. The
+	// partition produced is identical at any worker count.
+	SolverWorkers int
 }
 
 // DefaultConfig returns the Table 7.1 default parameters.
@@ -180,6 +185,9 @@ func New(cfg Config) (*Advisor, error) {
 	if cfg.BurstLookaheadDays < 0 {
 		return nil, fmt.Errorf("advisor: BurstLookaheadDays=%d", cfg.BurstLookaheadDays)
 	}
+	if cfg.SolverWorkers < 0 {
+		return nil, fmt.Errorf("advisor: SolverWorkers=%d", cfg.SolverWorkers)
+	}
 	return &Advisor{cfg: cfg}, nil
 }
 
@@ -243,7 +251,7 @@ func (a *Advisor) Plan(logs []*workload.TenantLog, horizon sim.Time) (*Plan, err
 	case FFD:
 		sol, err = grouping.FFD(prob)
 	default:
-		sol, err = grouping.TwoStep(prob)
+		sol, err = grouping.Solver{Workers: a.cfg.SolverWorkers}.TwoStep(prob)
 	}
 	if err != nil {
 		return nil, err

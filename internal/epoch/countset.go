@@ -2,7 +2,6 @@ package epoch
 
 import (
 	"fmt"
-	"sort"
 )
 
 // CountSet maintains the per-epoch active-tenant count of a tenant-group as
@@ -17,10 +16,11 @@ import (
 // Internally the count function is a sorted list of segments with count ≥ 1;
 // epochs outside every segment have count 0.
 type CountSet struct {
-	d    int64      // total epochs in the horizon
-	segs []countSeg // disjoint, sorted, count ≥ 1, no equal-count adjacency
-	hist []int64    // hist[c] = number of epochs with count c, c ≥ 1
-	n    int        // number of activities added
+	d     int64      // total epochs in the horizon
+	segs  []countSeg // disjoint, sorted, count ≥ 1, no equal-count adjacency
+	hist  []int64    // hist[c] = number of epochs with count c, c ≥ 1
+	n     int        // number of activities added
+	spare []countSeg // retired segment buffer, reused by the next Add
 }
 
 type countSeg struct {
@@ -65,11 +65,15 @@ func (cs *CountSet) EpochsAt(c int) int64 {
 func (cs *CountSet) Hist() []int64 {
 	out := make([]int64, len(cs.hist))
 	copy(out, cs.hist)
-	if len(out) == 0 {
-		out = []int64{0}
-	}
 	out[0] = cs.EpochsAt(0)
 	return out
+}
+
+// Reset empties the count function, retaining internal buffers for reuse.
+func (cs *CountSet) Reset() {
+	cs.segs = cs.segs[:0]
+	cs.hist = append(cs.hist[:0], 0)
+	cs.n = 0
 }
 
 // OverCount returns the number of epochs with active count strictly greater
@@ -93,6 +97,19 @@ func (cs *CountSet) TTP(r int) float64 {
 // the candidate's active epoch count (spans clipped to the grid).
 type Transition struct {
 	Up []int64
+}
+
+// Top returns the highest count level the transition raises epochs from, or
+// -1 when it raises none (an all-idle candidate). Top() <= 0 means the
+// candidate overlaps no currently-active epoch — "zero overlap": every one of
+// its active epochs lands on an idle one.
+func (tr Transition) Top() int {
+	for c := len(tr.Up) - 1; c >= 0; c-- {
+		if tr.Up[c] > 0 {
+			return c
+		}
+	}
+	return -1
 }
 
 // NewOver returns the number of epochs that would exceed count r after the
@@ -151,17 +168,89 @@ func (cs *CountSet) NewHist(tr Transition) []int64 {
 // Preview computes the transition vector of adding sp without modifying the
 // set. sp must be valid (see Spans.Valid) and within [0, D).
 func (cs *CountSet) Preview(sp Spans) Transition {
-	up := make([]int64, cs.MaxCount()+1)
+	tr, _, _, _ := cs.preview(sp, make([]int64, cs.MaxCount()+1), -1, 0)
+	return tr
+}
+
+// PreviewInto is Preview with a caller-provided scratch buffer: the returned
+// transition's Up aliases buf when buf has sufficient capacity, so a search
+// loop can evaluate candidates without per-candidate heap allocations.
+func (cs *CountSet) PreviewInto(sp Spans, buf []int64) Transition {
+	tr, _, _, _ := cs.preview(sp, cs.prepBuf(buf), -1, 0)
+	return tr
+}
+
+// PreviewBounded is PreviewInto with an early abort against an incumbent
+// candidate under the T_best rule (see CompareTransitions): bestMax is the
+// incumbent's resulting maximum active count and bestUp the number of epochs
+// its transition raises into that maximum (its Up[bestMax-1]). Comparing
+// Up[max-1] values is equivalent to comparing the resulting top-level
+// histogram entries hist[max]+Up[max-1], since both candidates see the same
+// live hist[max] — but unlike the absolute share it does not drift as the
+// group grows, so callers can cache it across rounds.
+//
+// On success (ok true) tr is the exact transition and (keyMax, keyUp) is its
+// key head as NewTopUp would report it. When the partial transition proves
+// the candidate lexicographically worse than the incumbent at the top
+// histogram levels, ok is false, tr only serves to recover the scratch
+// buffer, and (keyMax, keyUp) is a lower bound on the candidate's key head —
+// the partial sums at the moment the loss became certain. (Continuing the
+// walk to compute the exact top-level mass would make the bound stronger and
+// future skips more durable, but measured on dense workloads the extra
+// traversal costs more than the walks it later saves.)
+func (cs *CountSet) PreviewBounded(sp Spans, buf []int64, bestMax int, bestUp int64) (tr Transition, keyMax int, keyUp int64, ok bool) {
+	return cs.preview(sp, cs.prepBuf(buf), bestMax, bestUp)
+}
+
+// prepBuf returns buf resized and zeroed for one transition, reallocating
+// only when its capacity is insufficient.
+func (cs *CountSet) prepBuf(buf []int64) []int64 {
+	need := cs.MaxCount() + 1
+	if cap(buf) < need {
+		return make([]int64, need)
+	}
+	buf = buf[:need]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf
+}
+
+// preview is the shared merge walk. up must be zeroed with length
+// MaxCount()+1; bestMax < 0 disables the abort bound.
+//
+// The abort test runs inside the segment loop, not once per span: nearly
+// every bounded walk in a T_best scan ends in an abort, and candidate spans
+// routinely cross a dozen segments, so deciding after one or two segment
+// pieces instead of at the span boundary matters. Both abort triggers are
+// O(1): the partial maximum exceeds the incumbent's as soon as a piece lands
+// above level bestMax-1, and the top-level tie breaks as soon as the mass
+// accumulated at level bestMax-1 passes bestUp (a piece at bestMax-1 implies
+// the candidate's maximum reaches bestMax, so the tie comparison is the live
+// one). On abort the partial top-level sums are returned as the caller's
+// cacheable lower bound.
+func (cs *CountSet) preview(sp Spans, up []int64, bestMax int, bestUp int64) (Transition, int, int64, bool) {
 	segs := cs.segs
 	// Index of the first segment that could overlap the current span.
 	si := 0
+	top := -1 // highest index with up[top] > 0 so far
+	bounded := bestMax >= 0
+	watch := int32(bestMax - 1) // level whose mass decides a top-level tie
 	for _, s := range sp {
-		// Advance si to the first segment ending after s.S. Binary search
-		// when far away, linear otherwise: spans arrive in order, so the
-		// cursor only moves forward.
+		// Advance si to the first segment ending after s.S. Manual binary
+		// search — the sort.Search closure is measurable at this call rate —
+		// and spans arrive in order, so the cursor only moves forward.
 		if si < len(segs) && segs[si].e <= s.S {
-			j := sort.Search(len(segs)-si, func(k int) bool { return segs[si+k].e > s.S })
-			si = si + j
+			lo, hi := si+1, len(segs)
+			for lo < hi {
+				mid := int(uint(lo+hi) >> 1)
+				if segs[mid].e <= s.S {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			si = lo
 		}
 		cur := s.S
 		k := si
@@ -169,6 +258,16 @@ func (cs *CountSet) Preview(sp Spans) Transition {
 			if k >= len(segs) || segs[k].s >= s.E {
 				// Remaining range is all idle.
 				up[0] += int64(s.E - cur)
+				if top < 0 {
+					top = 0
+				}
+				if bounded && watch <= 0 {
+					if watch < 0 || up[0] > bestUp {
+						// max(MaxCount, top+1) == 1 in both branches: bestMax
+						// is 0 or 1 here and bestMax >= MaxCount always.
+						return Transition{Up: up}, 1, up[0], false
+					}
+				}
 				break
 			}
 			seg := segs[k]
@@ -179,6 +278,14 @@ func (cs *CountSet) Preview(sp Spans) Transition {
 					gapEnd = s.E
 				}
 				up[0] += int64(gapEnd - cur)
+				if top < 0 {
+					top = 0
+				}
+				if bounded && watch <= 0 {
+					if watch < 0 || up[0] > bestUp {
+						return Transition{Up: up}, 1, up[0], false
+					}
+				}
 				cur = gapEnd
 				if cur >= s.E {
 					break
@@ -194,26 +301,202 @@ func (cs *CountSet) Preview(sp Spans) Transition {
 				hi = seg.e
 			}
 			if hi > lo {
-				up[seg.c] += int64(hi - lo)
+				c := seg.c
+				up[c] += int64(hi - lo)
+				if int(c) > top {
+					top = int(c)
+				}
 				cur = hi
+				if bounded && c >= watch {
+					if c > watch {
+						// A piece at level > bestMax-1 pushes the candidate's
+						// new maximum past bestMax — already a bound strong
+						// enough to skip the candidate until the group's
+						// maximum itself catches up.
+						return Transition{Up: up}, int(c) + 1, up[c], false
+					}
+					if up[c] > bestUp {
+						// A piece at bestMax-1 means the candidate's maximum
+						// reaches exactly bestMax (a higher piece would have
+						// aborted above), so the top-level tie is decided by
+						// the mass raised into it.
+						return Transition{Up: up}, int(c) + 1, up[c], false
+					}
+				}
 			}
 			if seg.e <= s.E {
 				k++
 			}
 		}
 	}
-	return Transition{Up: up}
+	m := cs.MaxCount()
+	if top+1 > m {
+		m = top + 1
+	}
+	var u int64
+	if m >= 1 && m-1 < len(up) {
+		u = up[m-1]
+	}
+	return Transition{Up: up}, m, u, true
+}
+
+// NewTopUp returns the maximum active count after applying tr together with
+// the number of epochs tr raises into that maximum (Up[m-1]) — the head of
+// the T_best comparison key in the drift-free form PreviewBounded accepts.
+// Within one round, candidates all see the same live hist[m], so comparing
+// (m, Up[m-1]) pairs orders them exactly like comparing (m, hist[m]+Up[m-1]);
+// across rounds the pair is a monotone lower bound on the candidate's future
+// key head, because counts only grow while tenants join a group: the implied
+// maximum cannot shrink, and an epoch counted in Up[m-1] can only leave it by
+// pushing the candidate's maximum past m.
+func (cs *CountSet) NewTopUp(tr Transition) (int, int64) {
+	m := cs.NewMax(tr)
+	var u int64
+	if m >= 1 && m-1 < len(tr.Up) {
+		u = tr.Up[m-1]
+	}
+	return m, u
+}
+
+// newHistAt returns the post-transition histogram value at level c ≥ 1
+// without materializing the histogram.
+func (cs *CountSet) newHistAt(tr Transition, c int) int64 {
+	var v int64
+	if c < len(cs.hist) {
+		v = cs.hist[c]
+	}
+	if c < len(tr.Up) {
+		v -= tr.Up[c]
+	}
+	if c-1 < len(tr.Up) {
+		v += tr.Up[c-1]
+	}
+	return v
+}
+
+// CompareTransitions applies the CompareNewHists order to the histograms the
+// set would have after transitions a and b, without materializing either:
+// negative when a is preferable under the T_best rule, positive when b is,
+// 0 on a tie.
+func (cs *CountSet) CompareTransitions(a, b Transition) int {
+	maxA, maxB := cs.NewMax(a), cs.NewMax(b)
+	if maxA != maxB {
+		return maxA - maxB
+	}
+	for c := maxA; c >= 1; c-- {
+		av, bv := cs.newHistAt(a, c), cs.newHistAt(b, c)
+		if av != bv {
+			if av < bv {
+				return -1
+			}
+			return 1
+		}
+	}
+	return 0
+}
+
+// PatchTransition takes a transition tr that was exact for sp against the
+// state the set had before the most recent Add(added), and updates it in
+// place to be exact against the current state. Committing `added` raised the
+// count by one exactly on its own epochs, so tr changes only on sp ∩ added:
+// an epoch there at current count c used to contribute to Up[c-1] and now
+// contributes to Up[c]. The walk costs O(len(sp) + len(added) + segments
+// overlapping the intersection) — far less than re-previewing sp when the
+// overlap is a small part of the candidate's footprint. The returned Up may
+// be a grown copy of tr.Up. maxTouched is the highest level the patch moved
+// mass into, or -1 when the spans were disjoint and tr is unchanged; callers
+// maintaining the transition's top level incrementally take the max of the
+// old top and maxTouched.
+func (cs *CountSet) PatchTransition(sp, added Spans, tr Transition) (Transition, int) {
+	up := tr.Up
+	segs := cs.segs
+	maxTouched := -1
+	i, j, k := 0, 0, 0
+	for i < len(sp) && j < len(added) {
+		if sp[i].E <= added[j].S {
+			i++
+			continue
+		}
+		if added[j].E <= sp[i].S {
+			j++
+			continue
+		}
+		// Intersection piece [lo, hi).
+		lo, hi := sp[i].S, sp[i].E
+		if added[j].S > lo {
+			lo = added[j].S
+		}
+		if added[j].E < hi {
+			hi = added[j].E
+		}
+		// Every epoch of `added` is covered by the current segment list
+		// (its counts are ≥ 1 after the Add), so walk the segments across
+		// the piece. Pieces arrive in ascending order: the cursor k only
+		// moves forward, with a binary-search skip over far gaps.
+		if k < len(segs) && segs[k].e <= lo {
+			a, b := k+1, len(segs)
+			for a < b {
+				mid := int(uint(a+b) >> 1)
+				if segs[mid].e <= lo {
+					a = mid + 1
+				} else {
+					b = mid
+				}
+			}
+			k = a
+		}
+		for cur := lo; cur < hi; {
+			seg := segs[k] // cannot run out: segments cover all of `added`
+			pe := seg.e
+			if pe > hi {
+				pe = hi
+			}
+			n := int64(pe - cur)
+			c := int(seg.c)
+			for c >= len(up) {
+				if cap(up) > len(up) {
+					up = up[:len(up)+1]
+					up[len(up)-1] = 0
+				} else {
+					up = append(up, 0)
+				}
+			}
+			up[c-1] -= n
+			up[c] += n
+			if c > maxTouched {
+				maxTouched = c
+			}
+			cur = pe
+			if seg.e <= hi {
+				k++
+			}
+		}
+		// Advance whichever list's span is exhausted first.
+		if sp[i].E <= added[j].E {
+			i++
+		} else {
+			j++
+		}
+	}
+	return Transition{Up: up}, maxTouched
 }
 
 // Add commits sp into the count function. sp must be valid and within
-// [0, D).
+// [0, D). The histogram is maintained incrementally during the same merge
+// walk — only the epochs whose count actually rises are touched — and the
+// retired segment list is kept as a spare buffer for the next Add, so
+// committing a tenant allocates only when the segment list outgrows both
+// buffers.
 func (cs *CountSet) Add(sp Spans) {
+	cs.n++
 	if len(sp) == 0 {
-		cs.n++
 		return
 	}
-	newSegs := make([]countSeg, 0, len(cs.segs)+2*len(sp))
 	segs := cs.segs
+	newSegs := cs.spare[:0]
+	if need := len(segs) + 2*len(sp); cap(newSegs) < need {
+		newSegs = make([]countSeg, 0, need)
+	}
 	si := 0
 	emit := func(s, e, c int32) {
 		if e <= s || c == 0 {
@@ -224,6 +507,16 @@ func (cs *CountSet) Add(sp Spans) {
 			return
 		}
 		newSegs = append(newSegs, countSeg{s, e, c})
+	}
+	// bump records n epochs rising from count c to c+1 in the histogram.
+	bump := func(c int32, n int64) {
+		if c > 0 {
+			cs.hist[c] -= n
+		}
+		for int(c)+1 >= len(cs.hist) {
+			cs.hist = append(cs.hist, 0)
+		}
+		cs.hist[c+1] += n
 	}
 	for _, s := range sp {
 		// Copy segments that end before this span starts.
@@ -241,12 +534,14 @@ func (cs *CountSet) Add(sp Spans) {
 		for cur < s.E {
 			if si >= len(segs) || segs[si].s >= s.E {
 				emit(cur, s.E, 1)
+				bump(0, int64(s.E-cur))
 				cur = s.E
 				break
 			}
 			seg := segs[si]
 			if seg.s > cur {
 				emit(cur, seg.s, 1)
+				bump(0, int64(seg.s-cur))
 				cur = seg.s
 			}
 			hi := s.E
@@ -254,6 +549,7 @@ func (cs *CountSet) Add(sp Spans) {
 				hi = seg.e
 			}
 			emit(cur, hi, seg.c+1)
+			bump(seg.c, int64(hi-cur))
 			cur = hi
 			if seg.e <= s.E {
 				si++
@@ -261,8 +557,6 @@ func (cs *CountSet) Add(sp Spans) {
 				segs[si].s = s.E // tail of the straddling segment
 			}
 		}
-		// Update the histogram incrementally using the same walk? Done below
-		// via transition for clarity.
 	}
 	// Copy the remaining untouched segments.
 	for si < len(segs) {
@@ -270,19 +564,8 @@ func (cs *CountSet) Add(sp Spans) {
 		emit(seg.s, seg.e, seg.c)
 		si++
 	}
-	// Update histogram from the transition (computed before mutation order
-	// matters: Preview only reads cs.segs, which we have not replaced yet —
-	// but we mutated segs[si].s in place above, so recompute from newSegs).
-	hist := make([]int64, 1)
-	for _, seg := range newSegs {
-		for int(seg.c) >= len(hist) {
-			hist = append(hist, 0)
-		}
-		hist[seg.c] += int64(seg.e - seg.s)
-	}
+	cs.spare = cs.segs[:0] // retire the old list as the next Add's buffer
 	cs.segs = newSegs
-	cs.hist = hist
-	cs.n++
 }
 
 // clone returns a deep copy; used by the grouping search when it needs to

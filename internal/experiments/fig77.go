@@ -43,6 +43,7 @@ func Fig77ElasticScaling(env *Env) (*Fig77Result, error) {
 		return nil, err
 	}
 	acfg := advisor.DefaultConfig()
+	acfg.SolverWorkers = SolverWorkers
 	adv, err := advisor.New(acfg)
 	if err != nil {
 		return nil, err

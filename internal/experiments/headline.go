@@ -32,7 +32,9 @@ func Headline(env *Env) (*HeadlineResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	adv, err := advisor.New(advisor.DefaultConfig())
+	acfg := advisor.DefaultConfig()
+	acfg.SolverWorkers = SolverWorkers
+	adv, err := advisor.New(acfg)
 	if err != nil {
 		return nil, err
 	}

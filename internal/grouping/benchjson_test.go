@@ -1,0 +1,67 @@
+package grouping
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// BenchRecord is one solver benchmark's measurements as persisted to
+// BENCH_grouping.json by `make bench-grouping`.
+type BenchRecord struct {
+	Name          string  `json:"name"`
+	Iterations    int     `json:"iterations"`
+	NsPerOp       int64   `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	Effectiveness float64 `json:"effectiveness,omitempty"`
+}
+
+// TestWriteBenchJSON runs the solver-scale benchmarks and writes their
+// measurements to the path in BENCH_JSON_OUT. It is skipped unless that
+// variable is set (`make bench-grouping` sets it), so the regular test suite
+// stays fast. Effectiveness is recorded alongside the timings to document
+// that the optimized solver's solution quality is that of the reference
+// algorithm — the speedups never trade away consolidation.
+func TestWriteBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON_OUT")
+	if out == "" {
+		t.Skip("BENCH_JSON_OUT not set; run via `make bench-grouping`")
+	}
+	eff := func(n int) float64 {
+		p := scaleProblem(n)
+		sol, err := TwoStep(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sol.Effectiveness(p)
+	}
+	var recs []BenchRecord
+	for _, bm := range []struct {
+		name string
+		eff  float64
+		run  func(*testing.B)
+	}{
+		{"BenchmarkTwoStep2000", eff(2000), BenchmarkTwoStep2000},
+		{"BenchmarkTwoStep5000", eff(5000), BenchmarkTwoStep5000},
+		{"BenchmarkPickBest", 0, BenchmarkPickBest},
+	} {
+		r := testing.Benchmark(bm.run)
+		recs = append(recs, BenchRecord{
+			Name:          bm.name,
+			Iterations:    r.N,
+			NsPerOp:       r.NsPerOp(),
+			AllocsPerOp:   r.AllocsPerOp(),
+			BytesPerOp:    r.AllocedBytesPerOp(),
+			Effectiveness: bm.eff,
+		})
+	}
+	buf, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,107 @@
+package grouping
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/epoch"
+)
+
+// stripTiming zeroes the wall-clock fields so solutions can be compared
+// byte-for-byte.
+func stripTiming(s *Solution) *Solution {
+	out := *s
+	out.Elapsed = 0
+	return &out
+}
+
+// TestSolverMatchesReference is the solver-equivalence property test: over
+// seeded random instances, the optimized solver (serial and parallel at
+// several worker counts) must produce partitions byte-identical to the
+// retained reference implementation — same groups, same member order, same
+// statistics. This is what licenses every pruning/scratch-buffer/sharding
+// optimization in twostep.go.
+func TestSolverMatchesReference(t *testing.T) {
+	sizePools := [][]int{{2}, {2, 4}, {2, 4, 8}, {2, 4, 8, 16, 32}}
+	instances := 0
+	for seed := int64(0); seed < 24; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 10 + rng.Intn(120)
+		d := 50 + rng.Intn(500)
+		r := 1 + rng.Intn(3)
+		pGuar := 0.9 + 0.099*rng.Float64()
+		p := randomProblem(rng, n, d, r, pGuar, sizePools[rng.Intn(len(sizePools))])
+		want, err := referenceTwoStep(p)
+		if err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		if err := Verify(p, want); err != nil {
+			t.Fatalf("seed %d: reference produced invalid solution: %v", seed, err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			got, err := Solver{Workers: workers}.TwoStep(p)
+			if err != nil {
+				t.Fatalf("seed %d workers %d: %v", seed, workers, err)
+			}
+			if !reflect.DeepEqual(stripTiming(got), stripTiming(want)) {
+				t.Errorf("seed %d (n=%d d=%d r=%d p=%.4f) workers %d: solver diverged from reference\n got: %+v\nwant: %+v",
+					seed, n, d, r, pGuar, workers, stripTiming(got), stripTiming(want))
+			}
+		}
+		instances++
+	}
+	if instances < 20 {
+		t.Fatalf("only %d equivalence instances, want at least 20", instances)
+	}
+}
+
+// TestSolverMatchesReferenceAdversarial covers the shapes most likely to
+// break the pruning arguments: many identical tenants (maximal tie-breaking
+// pressure), all-idle tenants (empty spans), and a single size class large
+// enough to engage the sharded parallel scan.
+func TestSolverMatchesReferenceAdversarial(t *testing.T) {
+	build := func(name string, items []*Item, d int64, r int, pg float64) *Problem {
+		t.Helper()
+		p := &Problem{Items: items, D: d, R: r, P: pg}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		return p
+	}
+	var cases []*Problem
+
+	// Heavy ties: 60 tenants drawn from 4 identical activity patterns.
+	pats := []epoch.Spans{
+		{{S: 0, E: 10}},
+		{{S: 5, E: 15}},
+		{{S: 20, E: 25}, {S: 30, E: 40}},
+		nil, // all idle
+	}
+	var tied []*Item
+	for i := 0; i < 60; i++ {
+		tied = append(tied, &Item{ID: fmt.Sprintf("t%02d", i), Nodes: 4, Spans: pats[i%len(pats)]})
+	}
+	cases = append(cases, build("ties", tied, 50, 2, 0.9))
+
+	// One large size class: engages the parallel shard path (> minParallelScan).
+	rng := rand.New(rand.NewSource(7))
+	cases = append(cases, build("one-class", randomProblem(rng, 300, 400, 3, 0.95, []int{8}).Items, 400, 3, 0.95))
+
+	for ci, p := range cases {
+		want, err := referenceTwoStep(p)
+		if err != nil {
+			t.Fatalf("case %d: %v", ci, err)
+		}
+		for _, workers := range []int{1, 3, 8} {
+			got, err := Solver{Workers: workers}.TwoStep(p)
+			if err != nil {
+				t.Fatalf("case %d workers %d: %v", ci, workers, err)
+			}
+			if !reflect.DeepEqual(stripTiming(got), stripTiming(want)) {
+				t.Errorf("case %d workers %d: diverged from reference", ci, workers)
+			}
+		}
+	}
+}

@@ -2,12 +2,14 @@ package grouping
 
 import (
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/epoch"
 )
 
-// TwoStep runs the paper's two-step tenant-grouping heuristic (Algorithm 2).
+// TwoStep runs the paper's two-step tenant-grouping heuristic (Algorithm 2)
+// with the default serial Solver.
 //
 // Step 1 puts tenants requesting the same number of nodes into the same
 // initial group — the total node count of a cluster design is dictated by
@@ -21,12 +23,53 @@ import (
 // drop the group's TTP below P; then it closes the group and opens the next.
 // Note that on an empty group this selection rule degenerates to "insert the
 // least active tenant first", exactly as the thesis describes.
-func TwoStep(p *Problem) (*Solution, error) {
+func TwoStep(p *Problem) (*Solution, error) { return Solver{}.TwoStep(p) }
+
+// Solver configures the scalable T_best search. The zero value is the serial
+// solver; every configuration produces output byte-identical to the
+// reference implementation (reference.go) — the optimizations below only
+// change how fast T_best is found, never which tenant it is:
+//
+//   - candidates are scanned in ascending active-epoch order and the scan
+//     short-circuits on the first zero-overlap candidate, whose resulting
+//     histogram is unbeatable under the top-down lexicographic rule;
+//   - a candidate's transition is cached across insertions and only
+//     recomputed when its spans overlap the tenant just committed (the only
+//     event that can change it), so steady-state rounds are comparison-only;
+//   - fresh previews abort as soon as their partial transition already loses
+//     to the incumbent at the top histogram levels (PreviewBounded), and the
+//     partial bound is remembered so provably-losing candidates are skipped
+//     without another walk;
+//   - all transitions live in per-candidate scratch buffers owned by the
+//     search, so pickBest performs no steady-state heap allocations;
+//   - with Workers > 1, candidate evaluation is sharded across a worker pool
+//     with a deterministic lowest-position merge, and independent size
+//     classes are solved concurrently.
+type Solver struct {
+	// Workers bounds the solver's parallelism. 0 or 1 runs serially; larger
+	// values shard candidate evaluation and solve size classes concurrently.
+	Workers int
+}
+
+// minParallelScan is the candidate count below which sharding a pickBest scan
+// across workers costs more than it saves.
+const minParallelScan = 96
+
+// minShardLen keeps shards large enough that the per-shard dispatch overhead
+// stays amortized.
+const minShardLen = 32
+
+// TwoStep solves p under the solver's configuration.
+func (s Solver) TwoStep(p *Problem) (*Solution, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	start := time.Now()
 	sol := &Solution{Algorithm: "2-step"}
+	workers := s.Workers
+	if workers < 1 {
+		workers = 1
+	}
 
 	// Step 1: initial groups by node count, processed in descending size
 	// order for deterministic output.
@@ -34,42 +77,49 @@ func TwoStep(p *Problem) (*Solution, error) {
 	for i, it := range p.Items {
 		bySize[it.Nodes] = append(bySize[it.Nodes], i)
 	}
-	sizes := make([]int, 0, len(bySize))
-	for n := range bySize {
-		sizes = append(sizes, n)
-	}
-	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	sizes := sortedSizesDesc(bySize)
 
-	// Step 2 per initial group.
-	for _, n := range sizes {
-		remaining := append([]int(nil), bySize[n]...)
-		for len(remaining) > 0 {
-			g, rest := packOneGroup(p, remaining)
-			sol.Groups = append(sol.Groups, g)
-			remaining = rest
+	// Step 2 per initial group. Size classes are independent subproblems:
+	// solve them concurrently and splice the per-class groups back together
+	// in the same descending-size order the serial loop would have produced.
+	classGroups := make([][]Group, len(sizes))
+	if workers > 1 && len(sizes) > 1 {
+		sem := make(chan struct{}, workers)
+		var wg sync.WaitGroup
+		for ci, n := range sizes {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(ci int, items []int) {
+				defer wg.Done()
+				classGroups[ci] = solveClass(p, items, workers)
+				<-sem
+			}(ci, bySize[n])
 		}
+		wg.Wait()
+	} else {
+		for ci, n := range sizes {
+			classGroups[ci] = solveClass(p, bySize[n], workers)
+		}
+	}
+	for _, gs := range classGroups {
+		sol.Groups = append(sol.Groups, gs...)
 	}
 	sol.Elapsed = time.Since(start)
 	return sol, nil
 }
 
-// packOneGroup fills a single tenant-group from the remaining items of one
-// initial group and returns it together with the items left over.
-func packOneGroup(p *Problem, remaining []int) (Group, []int) {
-	cs := epoch.NewCountSet(p.D)
-	var members []int
-	for len(remaining) > 0 {
-		best := pickBest(p, cs, remaining)
-		it := p.Items[remaining[best]]
-		tr := cs.Preview(it.Spans)
-		if len(members) > 0 && cs.NewTTP(p.R, tr) < p.P {
-			break // Algorithm 2 line 9: T_best no longer fits; close the group.
-		}
-		// The first member always enters: a single tenant has max count 1 ≤ R.
-		members = append(members, remaining[best])
-		cs.Add(it.Spans)
-		remaining = append(remaining[:best], remaining[best+1:]...)
+// sortedSizesDesc returns the node-count keys in descending order.
+func sortedSizesDesc(bySize map[int][]int) []int {
+	sizes := make([]int, 0, len(bySize))
+	for n := range bySize {
+		sizes = append(sizes, n)
 	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}
+
+// finishGroup assembles a Group from its committed members and count set.
+func finishGroup(p *Problem, cs *epoch.CountSet, members []int) Group {
 	maxNodes := 0
 	for _, idx := range members {
 		if p.Items[idx].Nodes > maxNodes {
@@ -81,30 +131,379 @@ func packOneGroup(p *Problem, remaining []int) (Group, []int) {
 		MaxNodes:  maxNodes,
 		TTP:       cs.TTP(p.R),
 		MaxActive: cs.MaxCount(),
-	}, remaining
+	}
 }
 
-// pickBest returns the index within remaining of T_best under the paper's
-// selection rule: lexicographically smallest resulting active-count
-// histogram read from the top (first minimize the new maximum, then the
-// time share at the maximum, then one level down, …), breaking full ties by
-// least active time and finally by position.
-func pickBest(p *Problem, cs *epoch.CountSet, remaining []int) int {
-	best := 0
-	var bestHist []int64
-	var bestActive int64
-	for i, idx := range remaining {
+// solveClass runs step 2 over one size-homogeneous initial group.
+func solveClass(p *Problem, items []int, workers int) []Group {
+	se := newSearch(p, items, workers)
+	defer se.close()
+	// order holds the positions (into se.cands) still unassigned.
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	var groups []Group
+	for len(order) > 0 {
+		var g Group
+		g, order = se.packOneGroup(order)
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// Cache states of a candidate's transition.
+const (
+	cacheNone    = uint8(iota) // no usable information; must preview
+	cacheFull    = uint8(1)    // tr is the candidate's exact transition
+	cacheAborted = uint8(2)    // a bounded preview aborted; (pM, pU) lower-bounds the final key
+)
+
+// candidate is one unassigned tenant of a size class, with its cached
+// evaluation state. A candidate's transition against the group under
+// construction can only change when the group gains a tenant whose spans
+// overlap the candidate's, so between such events the cached transition (or
+// the cached abort bound) is reused as-is.
+type candidate struct {
+	idx    int   // index into Problem.Items
+	active int64 // ActiveEpochs, the scan sort key
+	spans  epoch.Spans
+	sLo    int32 // spans bounding box [sLo, sHi); sLo == sHi when spans empty
+	sHi    int32
+
+	state uint8
+	buf   []int64          // scratch backing tr.Up, owned by this candidate
+	tr    epoch.Transition // valid when state == cacheFull
+	// top is tr's highest level with mass (-1 when tr raises nothing), kept
+	// current alongside tr: patches only move mass upward, so the new top is
+	// the max of the old one and the highest level a patch touched.
+	top int
+	// (pM, pU) is the candidate's key head in drift-free form (see
+	// CountSet.NewTopUp) — the new maximum and the epochs raised into it.
+	// When state == cacheFull it is exact, refreshed in O(1) after every
+	// commit from top and the patched transition. When state == cacheAborted
+	// it is the head at the moment the candidate was last evaluated (a
+	// bounded preview that gave up, or a head-of-key loss that demoted it);
+	// both components are then monotone lower bounds on the candidate's
+	// future key head for the rest of the group, because counts only grow
+	// while tenants join: the maximum cannot shrink, and an epoch raised into
+	// the maximum can only leave it by pushing the maximum higher. The pair
+	// therefore keeps skipping the candidate across rounds without any
+	// per-Add maintenance.
+	pM int
+	pU int64
+}
+
+// byActive sorts candidates ascending by active epochs, stable on input
+// order (a concrete sort.Interface: the reflection-based sort.SliceStable
+// showed up in solver profiles).
+type byActive []candidate
+
+func (s byActive) Len() int           { return len(s) }
+func (s byActive) Less(a, b int) bool { return s[a].active < s[b].active }
+func (s byActive) Swap(a, b int)      { s[a], s[b] = s[b], s[a] }
+
+// pickResult is one shard's best candidate. tr aliases the winning
+// candidate's buffer and stays valid until that candidate is re-previewed.
+type pickResult struct {
+	ok  bool
+	pos int              // position in the scanned order slice
+	tr  epoch.Transition // the winning candidate's transition
+}
+
+// pickJob asks a pool worker to scan one shard of the candidate order.
+type pickJob struct {
+	order []int
+	base  int // offset of order within the full candidate list
+	shard int
+	wg    *sync.WaitGroup
+}
+
+// search is the per-class T_best search state: the group under construction's
+// count function, the candidates with their cached transitions, and (when
+// parallel) a persistent worker pool fed one shard per pickBest round.
+type search struct {
+	p       *Problem
+	cs      *epoch.CountSet
+	cands   []candidate
+	results []pickResult
+	jobs    chan pickJob
+}
+
+func newSearch(p *Problem, items []int, workers int) *search {
+	se := &search{
+		p:       p,
+		cs:      epoch.NewCountSet(p.D),
+		cands:   make([]candidate, len(items)),
+		results: make([]pickResult, workers),
+	}
+	for i, idx := range items {
 		it := p.Items[idx]
-		tr := cs.Preview(it.Spans)
-		h := cs.NewHist(tr)
-		if bestHist == nil {
-			best, bestHist, bestActive = i, h, it.ActiveEpochs()
-			continue
+		c := candidate{idx: idx, active: it.ActiveEpochs(), spans: it.Spans}
+		if n := len(it.Spans); n > 0 {
+			c.sLo, c.sHi = it.Spans[0].S, it.Spans[n-1].E
 		}
-		c := epoch.CompareNewHists(h, bestHist)
-		if c < 0 || (c == 0 && it.ActiveEpochs() < bestActive) {
-			best, bestHist, bestActive = i, h, it.ActiveEpochs()
+		se.cands[i] = c
+	}
+	// Ascending active-epoch order, stable on the input order. This is what
+	// makes the pruning sound: the first zero-overlap candidate found is the
+	// globally best one (any candidate scanned earlier is at most as
+	// active), and histogram ties can only happen between equally active
+	// candidates, where the stable order reproduces the reference
+	// first-in-input-order tie-break.
+	sort.Stable(byActive(se.cands))
+	if workers > 1 {
+		se.jobs = make(chan pickJob)
+		for w := 0; w < workers; w++ {
+			go func() {
+				for job := range se.jobs {
+					se.results[job.shard] = se.scan(job.order, job.base)
+					job.wg.Done()
+				}
+			}()
 		}
 	}
-	return best
+	return se
+}
+
+// close releases the worker pool.
+func (se *search) close() {
+	if se.jobs != nil {
+		close(se.jobs)
+	}
+}
+
+// packOneGroup fills a single tenant-group from the order slice and returns
+// it together with the candidates left over: per-round T_best scans over the
+// candidate list (sharded across the worker pool when one is configured and
+// the list is large enough), with every cached-exact transition repaired
+// in place after each commit.
+func (se *search) packOneGroup(order []int) (Group, []int) {
+	se.cs.Reset()
+	se.seed(order)
+	var members []int
+	for len(order) > 0 {
+		best, tr := se.pickBest(order)
+		c := &se.cands[order[best]]
+		if len(members) > 0 && se.cs.NewTTP(se.p.R, tr) < se.p.P {
+			break // Algorithm 2 line 9: T_best no longer fits; close the group.
+		}
+		// The first member always enters: a single tenant has max count 1 ≤ R.
+		members = append(members, c.idx)
+		order = se.commit(best, order)
+	}
+	return finishGroup(se.p, se.cs, members), order
+}
+
+// seed primes every candidate's cache against the empty count function, where
+// its transition is trivially exact: all of its active epochs rise 0 → 1.
+// Starting exact means the incremental patches after each Add keep every
+// transition exact for the whole group — the hot path never runs a full
+// preview walk at all.
+func (se *search) seed(order []int) {
+	for _, pos := range order {
+		c := &se.cands[pos]
+		if cap(c.buf) < 1 {
+			c.buf = make([]int64, 1)
+		}
+		c.buf = c.buf[:1]
+		c.buf[0] = c.active
+		c.tr = epoch.Transition{Up: c.buf}
+		c.state = cacheFull
+		if c.active > 0 {
+			c.top, c.pM, c.pU = 0, 1, c.active
+		} else {
+			c.top, c.pM, c.pU = -1, 0, 0
+		}
+	}
+}
+
+// commit adds order[best] to the group under construction, removes it from
+// order, and repairs the surviving candidates' caches. Committing changes the
+// count function only inside the new member's spans, so a cached full
+// transition is repaired by patching the overlap region (skipped outright
+// when the bounding boxes are disjoint) instead of re-previewed, and its key
+// head is refreshed in O(1) from the patched top level and the possibly-
+// raised group maximum. Cached abort bounds stay valid untouched: counts only
+// grow within a group, so the (new max, epochs at max) key they lower-bound
+// only grows too.
+func (se *search) commit(best int, order []int) []int {
+	c := &se.cands[order[best]]
+	se.cs.Add(c.spans)
+	order = append(order[:best], order[best+1:]...)
+	if added := c.spans; len(added) > 0 {
+		aLo, aHi := added[0].S, added[len(added)-1].E
+		mc := se.cs.MaxCount()
+		for _, pos := range order {
+			cc := &se.cands[pos]
+			if cc.state != cacheFull {
+				continue
+			}
+			if cc.sHi > aLo && cc.sLo < aHi {
+				var mt int
+				cc.tr, mt = se.cs.PatchTransition(cc.spans, added, cc.tr)
+				cc.buf = cc.tr.Up
+				if mt > cc.top {
+					cc.top = mt
+				}
+			}
+			pm := mc
+			if cc.top+1 > pm {
+				pm = cc.top + 1
+			}
+			cc.pM, cc.pU = pm, 0
+			if pm >= 1 && pm-1 < len(cc.tr.Up) {
+				cc.pU = cc.tr.Up[pm-1]
+			}
+		}
+	}
+	return order
+}
+
+// pickBest returns the position within order of T_best, together with its
+// transition (so the caller never re-previews the winner).
+func (se *search) pickBest(order []int) (int, epoch.Transition) {
+	shards := len(se.results)
+	if n := len(order) / minShardLen; shards > n {
+		shards = n
+	}
+	if se.jobs == nil || shards < 2 || len(order) < minParallelScan {
+		res := se.scan(order, 0)
+		return res.pos, res.tr
+	}
+	// Shard the candidate list contiguously: shard i scans positions
+	// [i·chunk, (i+1)·chunk). Each shard's scan is exact over its range, and
+	// the merge below visits shards in ascending position order, so ties
+	// resolve to the lowest position exactly as a single serial scan would.
+	chunk := (len(order) + shards - 1) / shards
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for i := 0; i < shards; i++ {
+		lo := i * chunk
+		hi := lo + chunk
+		if hi > len(order) {
+			hi = len(order)
+		}
+		se.jobs <- pickJob{order: order[lo:hi], base: lo, shard: i, wg: &wg}
+	}
+	wg.Wait()
+	best := -1
+	for i := 0; i < shards; i++ {
+		if !se.results[i].ok {
+			continue
+		}
+		if best < 0 || se.cs.CompareTransitions(se.results[i].tr, se.results[best].tr) < 0 {
+			best = i
+		}
+	}
+	return se.results[best].pos, se.results[best].tr
+}
+
+// scan finds T_best within one shard of the candidate order. base is the
+// shard's offset in the full list; the returned pos is absolute.
+//
+// The incumbent is tracked as (bM, bT): its resulting maximum active count
+// and the epoch share at that maximum — the head of the comparison key. Both
+// quantities of any candidate's partial transition only grow as its preview
+// walk proceeds, so a candidate whose cached or partial key already exceeds
+// (bM, bT) can be discarded without finishing (or even starting) its walk.
+func (se *search) scan(order []int, base int) pickResult {
+	cs := se.cs
+	var res pickResult
+	var bestMax int
+	var bestUp int64
+
+	// Pass 1: cached-exact candidates only — O(1) key reads, no walks. This
+	// builds the strongest available incumbent before any preview runs, so
+	// pass 2 can skip (or shallowly abort) nearly every stale candidate
+	// instead of re-walking it against a still-weak early incumbent.
+	for i, pos := range order {
+		c := &se.cands[pos]
+		if c.state != cacheFull {
+			continue
+		}
+		if c.top <= 0 {
+			// Zero overlap is unbeatable: a non-zero-overlap incumbent raised
+			// some epoch past count 1, so its histogram is strictly larger at
+			// some level ≥ 2 that this candidate leaves untouched; and among
+			// zero-overlap candidates the ascending scan order meets the
+			// winner (least active, then first in input order) first. Such
+			// candidates are never demoted (their key head is minimal), so
+			// pass 1 always sees them.
+			return pickResult{ok: true, pos: base + i, tr: c.tr}
+		}
+		// The candidate's exact key head, maintained by the patch loop.
+		cM, cU := c.pM, c.pU
+		if !res.ok {
+			res = pickResult{ok: true, pos: base + i, tr: c.tr}
+			bestMax, bestUp = cM, cU
+			continue
+		}
+		// Head-of-key rejection before the full comparison. The loser is
+		// demoted to the bounded state: its exact head is a valid lower
+		// bound on its key for the rest of the group (keys only grow), so
+		// it can be skipped in O(1) next round and — crucially — no longer
+		// needs to be patched after every Add. It pays a fresh bounded
+		// preview if it ever becomes competitive again.
+		if cM > bestMax || (cM == bestMax && cU > bestUp) {
+			c.state = cacheAborted
+			c.pM, c.pU = cM, cU
+			continue
+		}
+		if cs.CompareTransitions(c.tr, res.tr) < 0 {
+			res.pos, res.tr = base+i, c.tr
+			bestMax, bestUp = cM, cU
+		}
+		// On a tie the incumbent stands: the ascending scan meets candidates
+		// in input order — the reference tie-break.
+	}
+
+	// Pass 2: stale candidates, evaluated against the pass-1 incumbent.
+	for i, pos := range order {
+		c := &se.cands[pos]
+		if c.state == cacheFull {
+			continue
+		}
+		if res.ok && (c.pM > bestMax || (c.pM == bestMax && c.pU > bestUp)) {
+			// The remembered partial key still exceeds the incumbent's: the
+			// candidate's final key can only be larger. Skip without a walk.
+			continue
+		}
+		bm, bt := bestMax, bestUp
+		if !res.ok {
+			bm = -1 // no incumbent yet: the preview must run to completion
+		}
+		tr, cM, cU, ok := cs.PreviewBounded(c.spans, c.buf, bm, bt)
+		c.buf = tr.Up
+		c.tr = tr
+		if !ok {
+			// Remember the partial key. It strictly exceeds the incumbent
+			// bound (that is why the walk aborted), so it is stronger than
+			// whatever bound previously failed to skip this candidate.
+			c.state = cacheAborted
+			c.pM, c.pU = cM, cU
+			continue
+		}
+		c.state = cacheFull
+		c.top = tr.Top()
+		c.pM, c.pU = cM, cU
+		if !res.ok {
+			res = pickResult{ok: true, pos: base + i, tr: tr}
+			bestMax, bestUp = cM, cU
+			continue
+		}
+		if cM > bestMax || (cM == bestMax && cU > bestUp) {
+			c.state = cacheAborted
+			c.pM, c.pU = cM, cU
+			continue
+		}
+		// Unlike pass 1, a tie here must fall to whichever candidate comes
+		// first in scan-position order — the incumbent may sit at a higher
+		// position than this pass-2 candidate.
+		if cmp := cs.CompareTransitions(c.tr, res.tr); cmp < 0 || (cmp == 0 && base+i < res.pos) {
+			res.pos, res.tr = base+i, c.tr
+			bestMax, bestUp = cM, cU
+		}
+	}
+	return res
 }
