@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos-smoke overload-smoke grouping-smoke bench bench-grouping
+.PHONY: check vet build test race chaos-smoke overload-smoke grouping-smoke online-smoke bench bench-grouping bench-online
 
 # The full pre-commit gate: static checks, build, the bounded chaos,
-# overload and grouping smokes, and the race-enabled suite.
-check: vet build chaos-smoke overload-smoke grouping-smoke race
+# overload, grouping and online smokes, and the race-enabled suite.
+check: vet build chaos-smoke overload-smoke grouping-smoke online-smoke race
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,12 @@ grouping-smoke:
 	$(GO) test -race -run 'TestSolverMatchesReference' -count=1 ./internal/grouping
 	$(GO) test -bench 'BenchmarkTwoStep2000|BenchmarkPickBest' -benchtime=1x -run '^$$' ./internal/grouping
 
+# Bounded online-re-consolidation smoke with the race detector on: a seeded
+# drift run (churn, activity shift, live migrations, oracle comparison) plus
+# the same-seed byte-determinism guard over the telemetry dumps.
+online-smoke:
+	$(GO) test -race -short -run 'TestDriftSmoke|TestOnlineDeterminism' -count=1 ./internal/experiments
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -45,3 +51,11 @@ bench:
 # regressions show up in review).
 bench-grouping:
 	BENCH_JSON_OUT=$(CURDIR)/BENCH_grouping.json $(GO) test -run TestWriteBenchJSON -count=1 -v ./internal/grouping
+
+# Online-loop benchmark run: steady-state re-plan latency at 10k and 100k
+# tenants against the epoch width, plus the drift scenario's online-vs-oracle
+# SLA attainment. Persists to BENCH_online.json (committed) and fails if the
+# acceptance bars (100× under the epoch width, no drops, within 1% of the
+# oracle) regress.
+bench-online:
+	BENCH_JSON_OUT=$(CURDIR)/BENCH_online.json $(GO) test -run TestWriteOnlineBenchJSON -count=1 -v ./internal/experiments

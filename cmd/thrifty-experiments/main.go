@@ -67,6 +67,7 @@ var all = []experiment{
 	}, true},
 	{"chaos", experiments.ChaosRecovery, true},
 	{"overload", experiments.OverloadStorm, true},
+	{"drift", experiments.Drift, true},
 	{"ablation", table1(experiments.AblationSolvers), true},
 	{"divergent", table1(experiments.DivergentDesign), true},
 	{"headline", func(env *experiments.Env) ([]*experiments.Table, error) {

@@ -52,6 +52,9 @@ func main() {
 		sharded   = flag.Bool("sharded", true, "per-group clock domains: submits to different tenant-groups proceed in parallel")
 		recovery  = flag.Bool("recovery", true, "arm an autonomous recovery controller per tenant-group (heartbeat failure detection, pool swap, Table 5.1 reload)")
 
+		onlineOn       = flag.Bool("online", false, "arm continuous online re-consolidation (drift detection, local repair, live migrations); forces a shared clock domain")
+		onlineInterval = flag.Duration("online-interval", 15*time.Minute, "virtual-time control period of the online loop")
+
 		admissionOn       = flag.Bool("admission", true, "arm overload protection per tenant-group (contract enforcement, bounded admission queue, brownout)")
 		admissionHeadroom = flag.Float64("admission-headroom", 2, "factor applied to each tenant's logged arrival rate/burst when deriving its contract")
 		admissionQueue    = flag.Int("admission-queue", 32, "bound of the per-group admission queue (submits waiting for a retry slot)")
@@ -86,6 +89,10 @@ func main() {
 		len(plan.Groups), plan.NodesUsed(), plan.RequestedNodes,
 		100*plan.Effectiveness(), time.Since(start).Round(time.Millisecond))
 
+	if *onlineOn && *sharded {
+		fmt.Fprintln(os.Stderr, "thriftyd: -online requires one shared clock domain; overriding -sharded=false")
+		*sharded = false
+	}
 	dopts := thrifty.DeployOptions{
 		Immediate:    true,
 		ParallelLoad: true,
@@ -106,6 +113,14 @@ func main() {
 	if err != nil {
 		fatal("%v", err)
 	}
+	if *onlineOn {
+		ocfg := thrifty.DefaultOnlineConfig(pcfg, w.Horizon)
+		ocfg.Interval = *onlineInterval
+		if _, err := sys.EnableOnline(ocfg); err != nil {
+			fatal("%v", err)
+		}
+		fmt.Fprintf(os.Stderr, "thriftyd: online re-consolidation armed (control period %v)\n", *onlineInterval)
+	}
 	h, err := sys.Handler(thrifty.ServeOptions{
 		TimeScale:      *timeScale,
 		DisableMetrics: !*metrics,
@@ -124,8 +139,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v, recovery %v, admission %v)\n",
-		*addr, *timeScale, *metrics, *sharded, *recovery, *admissionOn)
+	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v, recovery %v, admission %v, online %v)\n",
+		*addr, *timeScale, *metrics, *sharded, *recovery, *admissionOn, *onlineOn)
 
 	select {
 	case err := <-errc:

@@ -36,25 +36,56 @@ type ReconsolidationInput struct {
 	FlaggedGroups []string
 }
 
+// Group-decision reason codes: why a previous group was kept or repacked.
+const (
+	// ReasonUnflagged: nothing disturbed the group — it kept its placement.
+	ReasonUnflagged = "unflagged"
+	// ReasonFlagged: the elastic scaler (or the online control loop) put the
+	// group on the re-consolidation list.
+	ReasonFlagged = "flagged"
+	// ReasonDepartedMember: at least one member de-registered this cycle.
+	ReasonDepartedMember = "departed-member"
+	// ReasonCapacityViolation: the group's fresh activity history violates
+	// the fuzzy-capacity constraint (TTP < P).
+	ReasonCapacityViolation = "capacity-violation"
+)
+
+// GroupDecision records the keep/repack verdict for one previous group, in
+// plan order. The online control loop and the GET /v1/reconsolidation
+// endpoint surface it so operators can see *why* a group was disturbed.
+type GroupDecision struct {
+	// Group is the previous plan's group ID.
+	Group string `json:"group"`
+	// Kept reports whether the group survived with its placement intact.
+	Kept bool `json:"kept"`
+	// Reason is one of the Reason* codes above: ReasonUnflagged for a kept
+	// group, otherwise the first disturbance found (flagged, then departed
+	// member, then capacity violation).
+	Reason string `json:"reason"`
+}
+
 // ReconsolidationReport summarizes the cycle's churn and migration cost.
 type ReconsolidationReport struct {
 	// KeptGroups kept their placement; their tenants' data does not move.
-	KeptGroups int
+	KeptGroups int `json:"kept_groups"`
 	// RepackedTenants went through grouping again.
-	RepackedTenants int
+	RepackedTenants int `json:"repacked_tenants"`
 	// NewTenants joined the service this cycle.
-	NewTenants []string
+	NewTenants []string `json:"new_tenants,omitempty"`
 	// Departed left the service this cycle.
-	Departed []string
+	Departed []string `json:"departed,omitempty"`
 	// MovedTenants ended up in a different group than before (new tenants
 	// included).
-	MovedTenants []string
+	MovedTenants []string `json:"moved_tenants,omitempty"`
 	// DataToMoveGB is the bulk-load volume the migration requires: each
 	// moved tenant's data loaded onto its new group's R MPPDBs.
-	DataToMoveGB float64
+	DataToMoveGB float64 `json:"data_to_move_gb"`
 	// MaxProvisionTime estimates the cycle's wall time: the slowest new
 	// group's startup + parallel bulk load (groups provision concurrently).
-	MaxProvisionTime time.Duration
+	MaxProvisionTime time.Duration `json:"max_provision_time_ns"`
+	// Decisions records the keep/repack verdict and reason for every
+	// previous group, in plan order.
+	Decisions []GroupDecision `json:"decisions"`
 }
 
 // Reconsolidate computes the next deployment plan from the previous one.
@@ -106,11 +137,16 @@ func (a *Advisor) Reconsolidate(in ReconsolidationInput, horizon sim.Time) (*Pla
 	var repackLogs []*workload.TenantLog
 	for _, g := range in.Previous.Groups {
 		keep := !flagged[g.ID]
+		reason := ReasonUnflagged
+		if !keep {
+			reason = ReasonFlagged
+		}
 		if keep {
 			// All members still present?
 			for _, id := range g.TenantIDs {
 				if _, here := current[id]; !here {
 					keep = false
+					reason = ReasonDepartedMember
 					break
 				}
 			}
@@ -125,6 +161,7 @@ func (a *Advisor) Reconsolidate(in ReconsolidationInput, horizon sim.Time) (*Pla
 			}
 			if cs.TTP(a.cfg.R) < a.cfg.P {
 				keep = false
+				reason = ReasonCapacityViolation
 			} else {
 				kept := g
 				kept.TTP = cs.TTP(a.cfg.R)
@@ -143,6 +180,7 @@ func (a *Advisor) Reconsolidate(in ReconsolidationInput, horizon sim.Time) (*Pla
 				}
 			}
 		}
+		rep.Decisions = append(rep.Decisions, GroupDecision{Group: g.ID, Kept: keep, Reason: reason})
 	}
 	// New tenants and previously excluded tenants re-enter the pool.
 	for _, tl := range in.Logs {

@@ -156,6 +156,133 @@ func TestReconsolidateRepacksNowInfeasibleGroup(t *testing.T) {
 	}
 }
 
+func TestReconsolidateLastTenantOfGroupDeparts(t *testing.T) {
+	a, err := New(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A population of one: the plan has exactly one single-tenant group.
+	solo := mkLog("Tsolo", 2, epoch.Activity{{Start: sim.Hour, End: 2 * sim.Hour}})
+	plan, err := a.Plan([]*workload.TenantLog{solo}, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan.Groups) != 1 || len(plan.Groups[0].TenantIDs) != 1 {
+		t.Fatalf("want one single-tenant group, got %+v", plan.Groups)
+	}
+	// The tenant de-registers: the next cycle's population is empty.
+	next, rep, err := a.Reconsolidate(ReconsolidationInput{Previous: plan, Logs: nil}, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(next.Groups) != 0 {
+		t.Errorf("empty population still has groups: %+v", next.Groups)
+	}
+	if len(rep.Departed) != 1 || rep.Departed[0] != "Tsolo" {
+		t.Errorf("departed = %v, want [Tsolo]", rep.Departed)
+	}
+	if rep.KeptGroups != 0 || rep.RepackedTenants != 0 {
+		t.Errorf("kept=%d repacked=%d, want 0/0", rep.KeptGroups, rep.RepackedTenants)
+	}
+	if len(rep.Decisions) != 1 || rep.Decisions[0].Kept || rep.Decisions[0].Reason != ReasonDepartedMember {
+		t.Errorf("decisions = %+v, want one repack for departed-member", rep.Decisions)
+	}
+}
+
+func TestReconsolidateEveryGroupFlagged(t *testing.T) {
+	a, plan, logs := reconWorld(t)
+	var flags []string
+	for _, g := range plan.Groups {
+		flags = append(flags, g.ID)
+	}
+	next, rep, err := a.Reconsolidate(ReconsolidationInput{
+		Previous:      plan,
+		Logs:          logs,
+		FlaggedGroups: flags,
+	}, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.KeptGroups != 0 {
+		t.Errorf("kept %d groups despite flagging all", rep.KeptGroups)
+	}
+	if rep.RepackedTenants != len(logs) {
+		t.Errorf("repacked %d tenants, want all %d", rep.RepackedTenants, len(logs))
+	}
+	if len(rep.Decisions) != len(plan.Groups) {
+		t.Fatalf("got %d decisions, want %d", len(rep.Decisions), len(plan.Groups))
+	}
+	for _, d := range rep.Decisions {
+		if d.Kept || d.Reason != ReasonFlagged {
+			t.Errorf("decision %+v, want repack/flagged", d)
+		}
+	}
+	// Everyone must be placed exactly once in the fresh plan.
+	placed := map[string]int{}
+	for _, g := range next.Groups {
+		for _, id := range g.TenantIDs {
+			placed[id]++
+		}
+	}
+	for _, tl := range logs {
+		if placed[tl.Tenant.ID] != 1 {
+			t.Errorf("tenant %s placed %d times", tl.Tenant.ID, placed[tl.Tenant.ID])
+		}
+	}
+}
+
+func TestReconsolidateJoinDuringGroupDeparture(t *testing.T) {
+	a, plan, prev := reconWorld(t)
+	// One member of group 0 departs while a new tenant with the same
+	// activity shape joins in the same cycle: the join must land in the
+	// repack pool alongside the departed tenant's groupmates.
+	gone := plan.Groups[0].TenantIDs[0]
+	var goneAct epoch.Activity
+	var logs []*workload.TenantLog
+	for _, tl := range prev {
+		if tl.Tenant.ID == gone {
+			goneAct = tl.Activity
+			continue
+		}
+		logs = append(logs, tl)
+	}
+	logs = append(logs, mkLog("Tjoin", 2, goneAct))
+	next, rep, err := a.Reconsolidate(ReconsolidationInput{Previous: plan, Logs: logs}, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Departed) != 1 || rep.Departed[0] != gone {
+		t.Errorf("departed = %v, want [%s]", rep.Departed, gone)
+	}
+	if len(rep.NewTenants) != 1 || rep.NewTenants[0] != "Tjoin" {
+		t.Errorf("new tenants = %v, want [Tjoin]", rep.NewTenants)
+	}
+	// Pool = surviving groupmates of group 0 + the joiner.
+	want := len(plan.Groups[0].TenantIDs) - 1 + 1
+	if rep.RepackedTenants != want {
+		t.Errorf("repacked %d tenants, want %d", rep.RepackedTenants, want)
+	}
+	if _, ok := next.Group("Tjoin"); !ok {
+		t.Error("joiner not placed")
+	}
+	if _, ok := next.Group(gone); ok {
+		t.Error("departed tenant still placed")
+	}
+	// The disturbed group repacks for the departure; the others keep.
+	for i, d := range rep.Decisions {
+		if plan.Groups[i].ID != d.Group {
+			t.Fatalf("decision %d out of plan order: %s vs %s", i, d.Group, plan.Groups[i].ID)
+		}
+		if d.Group == plan.Groups[0].ID {
+			if d.Kept || d.Reason != ReasonDepartedMember {
+				t.Errorf("group 0 decision %+v, want repack/departed-member", d)
+			}
+		} else if !d.Kept || d.Reason != ReasonUnflagged {
+			t.Errorf("decision %+v, want kept/unflagged", d)
+		}
+	}
+}
+
 func TestReconsolidateRequiresPrevious(t *testing.T) {
 	a, _, logs := reconWorld(t)
 	if _, _, err := a.Reconsolidate(ReconsolidationInput{Logs: logs}, sim.Day); err == nil {

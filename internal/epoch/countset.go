@@ -568,6 +568,97 @@ func (cs *CountSet) Add(sp Spans) {
 	cs.segs = newSegs
 }
 
+// Remove is the inverse of Add: it commits the departure of a previously
+// added activity, decrementing the count on sp's epochs. Every epoch of sp
+// must currently have count ≥ 1 — callers remove exactly the spans they
+// added (the online control loop removes a tenant's running profile, the
+// union of its planned spans and every streamed delta). The merge walk
+// mirrors Add's: segments are rewritten in one pass, the histogram is
+// maintained on exactly the epochs whose count falls, and the retired
+// segment list is kept as the spare buffer for the next commit.
+func (cs *CountSet) Remove(sp Spans) {
+	cs.n--
+	if len(sp) == 0 {
+		return
+	}
+	segs := cs.segs
+	newSegs := cs.spare[:0]
+	if need := len(segs) + 2*len(sp); cap(newSegs) < need {
+		newSegs = make([]countSeg, 0, need)
+	}
+	si := 0
+	emit := func(s, e, c int32) {
+		if e <= s || c == 0 {
+			return
+		}
+		if n := len(newSegs); n > 0 && newSegs[n-1].e == s && newSegs[n-1].c == c {
+			newSegs[n-1].e = e
+			return
+		}
+		newSegs = append(newSegs, countSeg{s, e, c})
+	}
+	// drop records n epochs falling from count c to c-1 in the histogram.
+	drop := func(c int32, n int64) {
+		cs.hist[c] -= n
+		if c > 1 {
+			cs.hist[c-1] += n
+		}
+	}
+	for _, s := range sp {
+		// Copy segments that end before this span starts.
+		for si < len(segs) && segs[si].e <= s.S {
+			seg := segs[si]
+			emit(seg.s, seg.e, seg.c)
+			si++
+		}
+		// A segment may straddle the span start: split it.
+		if si < len(segs) && segs[si].s < s.S {
+			emit(segs[si].s, s.S, segs[si].c)
+			segs[si].s = s.S // consume the head; remainder handled below
+		}
+		cur := s.S
+		for cur < s.E {
+			if si >= len(segs) || segs[si].s > cur {
+				panic(fmt.Sprintf("epoch: Remove of epochs at count 0 (at epoch %d)", cur))
+			}
+			seg := segs[si]
+			hi := s.E
+			if seg.e < hi {
+				hi = seg.e
+			}
+			emit(cur, hi, seg.c-1)
+			drop(seg.c, int64(hi-cur))
+			cur = hi
+			if seg.e <= s.E {
+				si++
+			} else {
+				segs[si].s = s.E // tail of the straddling segment
+			}
+		}
+	}
+	// Copy the remaining untouched segments.
+	for si < len(segs) {
+		seg := segs[si]
+		emit(seg.s, seg.e, seg.c)
+		si++
+	}
+	cs.spare = cs.segs[:0]
+	cs.segs = newSegs
+	// Shrink the histogram to the new maximum count.
+	top := len(cs.hist) - 1
+	for top > 0 && cs.hist[top] == 0 {
+		top--
+	}
+	cs.hist = cs.hist[:top+1]
+}
+
+// NewHistAt returns the post-transition histogram value at level c ≥ 1
+// without materializing the histogram. The online placer uses it to compare
+// candidate target groups: each group reports its own resulting top-level
+// share (hist[newMax] after the move), so unlike the drift-free Up[m-1] form
+// the values are comparable across different CountSets.
+func (cs *CountSet) NewHistAt(tr Transition, c int) int64 { return cs.newHistAt(tr, c) }
+
 // clone returns a deep copy; used by the grouping search when it needs to
 // explore tentative additions.
 func (cs *CountSet) clone() *CountSet {

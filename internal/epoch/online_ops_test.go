@@ -1,0 +1,203 @@
+package epoch
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSpans draws a valid Spans over [0, d) with roughly n spans.
+func randSpans(rng *rand.Rand, d int64, n int) Spans {
+	var out Spans
+	cur := int32(rng.Intn(3))
+	for i := 0; i < n && int64(cur) < d-1; i++ {
+		s := cur + int32(rng.Intn(4))
+		e := s + 1 + int32(rng.Intn(6))
+		if int64(e) > d {
+			e = int32(d)
+		}
+		if e <= s {
+			break
+		}
+		out = append(out, Span{s, e})
+		cur = e + 1 + int32(rng.Intn(5))
+	}
+	return out
+}
+
+func denseOf(sp Spans, d int64) []bool {
+	out := make([]bool, d)
+	for _, s := range sp {
+		for i := s.S; i < s.E; i++ {
+			out[i] = true
+		}
+	}
+	return out
+}
+
+func spansEqualDense(t *testing.T, got Spans, want []bool) {
+	t.Helper()
+	if !got.Valid() {
+		t.Fatalf("invalid spans %v", got)
+	}
+	gd := denseOf(got, int64(len(want)))
+	for i := range want {
+		if gd[i] != want[i] {
+			t.Fatalf("epoch %d: got %v want %v (spans %v)", i, gd[i], want[i], got)
+		}
+	}
+}
+
+func TestSpansUnionDiffRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const d = 200
+	for iter := 0; iter < 500; iter++ {
+		a := randSpans(rng, d, 12)
+		b := randSpans(rng, d, 12)
+		da, db := denseOf(a, d), denseOf(b, d)
+		wantU := make([]bool, d)
+		wantD := make([]bool, d)
+		for i := 0; i < d; i++ {
+			wantU[i] = da[i] || db[i]
+			wantD[i] = da[i] && !db[i]
+		}
+		spansEqualDense(t, a.Union(b), wantU)
+		spansEqualDense(t, b.Union(a), wantU)
+		spansEqualDense(t, a.Diff(b), wantD)
+	}
+}
+
+func TestSpansUnionDiffEdges(t *testing.T) {
+	a := Spans{{0, 5}, {10, 15}}
+	if got := a.Union(nil); got.Len() != a.Len() {
+		t.Fatalf("union with empty: %v", got)
+	}
+	if got := Spans(nil).Union(a); got.Len() != a.Len() {
+		t.Fatalf("empty union: %v", got)
+	}
+	if got := a.Diff(a); len(got) != 0 {
+		t.Fatalf("self diff: %v", got)
+	}
+	// Adjacent spans merge.
+	got := Spans{{0, 5}}.Union(Spans{{5, 9}})
+	if len(got) != 1 || got[0] != (Span{0, 9}) {
+		t.Fatalf("adjacent union: %v", got)
+	}
+	// Diff splitting one span into two.
+	got = Spans{{0, 10}}.Diff(Spans{{3, 6}})
+	if len(got) != 2 || got[0] != (Span{0, 3}) || got[1] != (Span{6, 10}) {
+		t.Fatalf("split diff: %v", got)
+	}
+}
+
+// TestCountSetRemoveRandom checks that Remove is the exact inverse of Add:
+// after a random interleaving of adds and removes, the segment list,
+// histogram, and TTP all match a dense recomputation from the surviving
+// activities.
+func TestCountSetRemoveRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const d = 150
+	for iter := 0; iter < 200; iter++ {
+		cs := NewCountSet(d)
+		live := make(map[int]Spans)
+		next := 0
+		steps := 30 + rng.Intn(40)
+		for s := 0; s < steps; s++ {
+			if len(live) > 0 && rng.Intn(3) == 0 {
+				// Remove a random live activity.
+				ks := make([]int, 0, len(live))
+				for k := range live {
+					ks = append(ks, k)
+				}
+				k := ks[rng.Intn(len(ks))]
+				cs.Remove(live[k])
+				delete(live, k)
+			} else {
+				sp := randSpans(rng, d, 8)
+				cs.Add(sp)
+				live[next] = sp
+				next++
+			}
+			// Dense reference.
+			counts := make([]int32, d)
+			for _, sp := range live {
+				for _, s := range sp {
+					for i := s.S; i < s.E; i++ {
+						counts[i]++
+					}
+				}
+			}
+			got := cs.Counts()
+			for i := int64(0); i < d; i++ {
+				if got[i] != counts[i] {
+					t.Fatalf("iter %d step %d: count[%d]=%d want %d", iter, s, i, got[i], counts[i])
+				}
+			}
+			// Histogram reference.
+			wantHist := make(map[int32]int64)
+			maxC := int32(0)
+			for _, c := range counts {
+				if c > 0 {
+					wantHist[c]++
+				}
+				if c > maxC {
+					maxC = c
+				}
+			}
+			if cs.MaxCount() != int(maxC) {
+				t.Fatalf("iter %d step %d: MaxCount=%d want %d", iter, s, cs.MaxCount(), maxC)
+			}
+			for c := int32(1); c <= maxC; c++ {
+				if cs.EpochsAt(int(c)) != wantHist[c] {
+					t.Fatalf("iter %d step %d: hist[%d]=%d want %d",
+						iter, s, c, cs.EpochsAt(int(c)), wantHist[c])
+				}
+			}
+		}
+	}
+}
+
+// TestCountSetRemoveSpareReuse checks the add/remove cycle keeps reusing the
+// retired segment buffers (the steady-state allocation discipline the online
+// loop depends on).
+func TestCountSetRemoveSpareReuse(t *testing.T) {
+	cs := NewCountSet(1000)
+	base := Spans{{0, 100}, {200, 300}, {500, 600}}
+	cs.Add(base)
+	churn := Spans{{50, 150}, {250, 400}}
+	cs.Add(churn)
+	allocs := testing.AllocsPerRun(200, func() {
+		cs.Remove(churn)
+		cs.Add(churn)
+	})
+	if allocs > 0.5 {
+		t.Fatalf("add/remove cycle allocates %.1f per op", allocs)
+	}
+}
+
+func TestNewHistAtExported(t *testing.T) {
+	cs := NewCountSet(100)
+	cs.Add(Spans{{0, 10}})
+	cs.Add(Spans{{5, 15}})
+	tr := cs.Preview(Spans{{8, 12}})
+	max := cs.NewMax(tr)
+	hist := cs.NewHist(tr)
+	if got := cs.NewHistAt(tr, max); got != hist[max] {
+		t.Fatalf("NewHistAt(%d)=%d want %d", max, got, hist[max])
+	}
+	for c := 1; c <= max; c++ {
+		if got := cs.NewHistAt(tr, c); got != hist[c] {
+			t.Fatalf("NewHistAt(%d)=%d want %d", c, got, hist[c])
+		}
+	}
+}
+
+func TestCountSetRemovePanicsOnUncovered(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic removing uncovered epochs")
+		}
+	}()
+	cs := NewCountSet(100)
+	cs.Add(Spans{{0, 10}})
+	cs.Remove(Spans{{5, 20}})
+}

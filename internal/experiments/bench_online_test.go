@@ -1,0 +1,165 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/advisor"
+	"repro/internal/epoch"
+	"repro/internal/online"
+	"repro/internal/sim"
+)
+
+// benchPlacerWorld builds a live partition of n tenants in feasible 8-member
+// groups over the advisor's default planning grid (one day at the default
+// epoch width). Activity is a deterministic slot pattern: members of a group
+// stagger their single active span so the group trivially satisfies the
+// fuzzy-capacity constraint.
+func benchPlacerWorld(tb testing.TB, n int) (*online.Placer, []string, int64) {
+	tb.Helper()
+	cfg := advisor.DefaultConfig()
+	d := int64(sim.Day / cfg.Epoch)
+	pl := online.NewPlacer(d, cfg.R, cfg.P)
+	const perGroup = 8
+	nGroups := n / perGroup
+	gids := make([]string, 0, nGroups)
+	for g := 0; g < nGroups; g++ {
+		gid := fmt.Sprintf("G%05d", g)
+		if _, err := pl.AddGroup(gid, 2); err != nil {
+			tb.Fatal(err)
+		}
+		gids = append(gids, gid)
+		for m := 0; m < perGroup; m++ {
+			id := fmt.Sprintf("T%06d", g*perGroup+m)
+			s := int32(int64(m) * d / perGroup)
+			e := s + int32(d/(2*perGroup))
+			if _, err := pl.Register(id, 2, epoch.Spans{{S: s, E: e}}); err != nil {
+				tb.Fatal(err)
+			}
+			if err := pl.Assign(id, gid); err != nil {
+				tb.Fatal(err)
+			}
+		}
+	}
+	return pl, gids, d
+}
+
+// benchReplan measures one steady-state re-plan decision of the online loop:
+// rank the members of a (supposedly broken) group by eviction relief, then
+// find the lexicographically best feasible target group for a tenant-sized
+// probe profile with a bounded T_best scan across every group. This is the
+// repair path the controller pays per drift event, so its latency against
+// the epoch width is the headline "online beats the epoch clock" number.
+func benchReplan(b *testing.B, n int) {
+	pl, gids, d := benchPlacerWorld(b, n)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gid := gids[i%len(gids)]
+		_ = pl.EvictionOrder(gid)
+		off := int32(int64(i%16) * d / 16)
+		_, _ = pl.BestGroup(2, epoch.Spans{{S: off, E: off + int32(d/16)}}, gid)
+	}
+}
+
+func BenchmarkReplan10k(b *testing.B)  { benchReplan(b, 10_000) }
+func BenchmarkReplan100k(b *testing.B) { benchReplan(b, 100_000) }
+
+// OnlineBenchRecord is one measurement persisted to BENCH_online.json by
+// `make bench-online`.
+type OnlineBenchRecord struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations,omitempty"`
+	NsPerOp     int64  `json:"ns_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64  `json:"bytes_per_op,omitempty"`
+	Tenants     int    `json:"tenants,omitempty"`
+	Groups      int    `json:"groups,omitempty"`
+	// EpochWidthNs and the ratio document that a re-plan decision is far
+	// faster than the epoch clock it races.
+	EpochWidthNs    int64   `json:"epoch_width_ns,omitempty"`
+	EpochOverReplan float64 `json:"epoch_width_over_replan,omitempty"`
+	// Drift-scenario outcome: online control loop vs clairvoyant offline
+	// re-solve.
+	OnlineAttainment float64 `json:"online_attainment,omitempty"`
+	OracleAttainment float64 `json:"oracle_attainment,omitempty"`
+	AttainmentDelta  float64 `json:"attainment_delta,omitempty"`
+	NoDrop           *bool   `json:"no_drop,omitempty"`
+}
+
+// TestWriteOnlineBenchJSON measures the online loop's steady-state re-plan
+// latency at 10k and 100k tenants and the drift scenario's online-vs-oracle
+// SLA attainment, writes them to BENCH_JSON_OUT, and enforces the
+// acceptance bars: re-plan at least 100× faster than the epoch width, no
+// dropped queries, attainment within 1% of the oracle. Skipped unless
+// BENCH_JSON_OUT is set (`make bench-online` sets it).
+func TestWriteOnlineBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON_OUT")
+	if out == "" {
+		t.Skip("BENCH_JSON_OUT not set; run via `make bench-online`")
+	}
+	epochNs := int64(advisor.DefaultConfig().Epoch)
+	var recs []OnlineBenchRecord
+	for _, bm := range []struct {
+		name    string
+		tenants int
+		run     func(*testing.B)
+	}{
+		{"BenchmarkReplan10k", 10_000, BenchmarkReplan10k},
+		{"BenchmarkReplan100k", 100_000, BenchmarkReplan100k},
+	} {
+		r := testing.Benchmark(bm.run)
+		ratio := float64(epochNs) / float64(r.NsPerOp())
+		recs = append(recs, OnlineBenchRecord{
+			Name:            bm.name,
+			Iterations:      r.N,
+			NsPerOp:         r.NsPerOp(),
+			AllocsPerOp:     r.AllocsPerOp(),
+			BytesPerOp:      r.AllocedBytesPerOp(),
+			Tenants:         bm.tenants,
+			Groups:          bm.tenants / 8,
+			EpochWidthNs:    epochNs,
+			EpochOverReplan: ratio,
+		})
+		if ratio < 100 {
+			t.Errorf("%s: re-plan %d ns/op is only %.1f× under the %d ns epoch width (bar: 100×)",
+				bm.name, r.NsPerOp(), ratio, epochNs)
+		}
+	}
+
+	env, err := NewEnv(Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := DriftOutcome(env, DefaultDriftConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	nd := res.NoDrop()
+	recs = append(recs, OnlineBenchRecord{
+		Name:             "DriftOnlineVsOracle",
+		OnlineAttainment: res.OnlineAttainment,
+		OracleAttainment: res.OracleAttainment,
+		AttainmentDelta:  res.AttainmentDelta(),
+		NoDrop:           &nd,
+	})
+	if !nd {
+		t.Errorf("drift scenario dropped queries: %d accepted, %d completed",
+			res.Submitted-res.SubmitErrors, res.Completed)
+	}
+	if d := res.AttainmentDelta(); d > 0.01 {
+		t.Errorf("online attainment %.4f is %.2f%% behind the oracle %.4f (bar: 1%%)",
+			res.OnlineAttainment, 100*d, res.OracleAttainment)
+	}
+
+	buf, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -157,6 +157,41 @@ func (s *Solution) Effectiveness(p *Problem) float64 {
 	return 1 - float64(s.NodesUsed(p.R))/float64(req)
 }
 
+// SolutionFromMembers re-expresses an explicit assignment of item IDs to
+// groups as a Solution, recomputing every group's statistics. The online
+// control loop uses it to audit its live, incrementally maintained
+// partition against the LIVBPwFC constraint with the same Verify the
+// offline solvers answer to.
+func SolutionFromMembers(p *Problem, groups [][]string, algorithm string) (*Solution, error) {
+	idx := make(map[string]int, len(p.Items))
+	for i, it := range p.Items {
+		idx[it.ID] = i
+	}
+	sol := &Solution{Algorithm: algorithm}
+	for gi, members := range groups {
+		if len(members) == 0 {
+			return nil, fmt.Errorf("grouping: member group %d is empty", gi)
+		}
+		g := Group{}
+		cs := epoch.NewCountSet(p.D)
+		for _, id := range members {
+			i, ok := idx[id]
+			if !ok {
+				return nil, fmt.Errorf("grouping: member %q is not a problem item", id)
+			}
+			g.Items = append(g.Items, i)
+			cs.Add(p.Items[i].Spans)
+			if p.Items[i].Nodes > g.MaxNodes {
+				g.MaxNodes = p.Items[i].Nodes
+			}
+		}
+		g.TTP = cs.TTP(p.R)
+		g.MaxActive = cs.MaxCount()
+		sol.Groups = append(sol.Groups, g)
+	}
+	return sol, nil
+}
+
 // Verify checks that the solution is a valid partition of the problem's
 // items and that every group satisfies the fuzzy capacity constraint; it
 // also recomputes each group's reported statistics.

@@ -14,6 +14,7 @@ package master
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/admission"
@@ -74,6 +75,9 @@ type Deployment struct {
 	eng   *sim.Engine // shared-mode engine; unused by groups when sharded
 	pool  *cluster.Pool
 	plane *runtime.Plane
+	dom   *sim.Domain // shared-mode domain; nil when sharded
+
+	mu    sync.Mutex
 	ready map[string]sim.Time
 }
 
@@ -102,13 +106,14 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 	// and therefore safe to call while any single domain is held.
 	engines := make([]*sim.Engine, len(plan.Groups))
 	domains := make([]*sim.Domain, len(plan.Groups))
+	var shared *sim.Domain
 	if m.opts.Sharded {
 		for i := range plan.Groups {
 			engines[i] = sim.NewEngine()
 			domains[i] = sim.NewDomain(engines[i])
 		}
 	} else {
-		shared := sim.NewDomain(m.eng)
+		shared = sim.NewDomain(m.eng)
 		for i := range plan.Groups {
 			engines[i] = m.eng
 			domains[i] = shared
@@ -126,89 +131,148 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 		eng:   m.eng,
 		pool:  m.pool,
 		plane: runtime.NewPlane(tel, m.opts.Sharded),
+		dom:   shared,
 		ready: make(map[string]sim.Time),
 	}
 	for gi, pg := range plan.Groups {
-		eng := engines[gi]
-		members := make([]*tenant.Tenant, 0, len(pg.TenantIDs))
-		var groupGB float64
-		for _, id := range pg.TenantIDs {
-			tn, ok := tenants[id]
-			if !ok {
-				return nil, fmt.Errorf("master: plan references unknown tenant %s", id)
-			}
-			members = append(members, tn)
-			groupGB += tn.DataGB
-		}
-		g := &DeployedGroup{Plan: pg, Members: members}
-		var readyAt sim.Time
-		for i := 0; i < pg.Design.A; i++ {
-			nodes, err := pg.Design.GroupNodes(i)
-			if err != nil {
-				return nil, err
-			}
-			id := fmt.Sprintf("%s-db%d", pg.ID, i)
-			if _, err := m.pool.Acquire(id, nodes); err != nil {
-				return nil, fmt.Errorf("master: group %s: %w", pg.ID, err)
-			}
-			inst := mppdb.New(eng, id, nodes)
-			inst.SetTelemetry(tel)
-			for _, tn := range members {
-				inst.DeployTenant(tn.ID, tn.DataGB)
-			}
-			if !m.opts.Immediate {
-				inst.SetState(mppdb.Provisioning)
-				delay := cluster.StartupTime(nodes) + cluster.LoadTime(groupGB, nodes, m.opts.ParallelLoad)
-				at := eng.Now().Add(delay)
-				if at > readyAt {
-					readyAt = at
-				}
-				eng.After(delay, func(sim.Time) { inst.SetState(mppdb.Ready) })
-			}
-			g.Instances = append(g.Instances, inst)
-		}
-		mon, err := monitor.NewGroup(eng, pg.ID, pg.Design.A, m.opts.MonitorWindow)
+		g, readyAt, err := m.buildGroup(engines[gi], domains[gi], tel, pg, plan.Config.P, tenants)
 		if err != nil {
 			return nil, err
-		}
-		rt, err := router.NewGroup(eng, pg.ID, g.Instances, members, mon)
-		if err != nil {
-			return nil, err
-		}
-		mon.SetTelemetry(tel)
-		rt.SetTelemetry(tel)
-		g.Monitor = mon
-		g.Router = rt
-		g.Bind(domains[gi])
-		g.SetTelemetry(tel)
-		if m.opts.Recovery != nil {
-			rc, err := recovery.New(eng, m.pool, pg.ID, g.Instances, *m.opts.Recovery)
-			if err != nil {
-				return nil, err
-			}
-			rc.SetTelemetry(tel)
-			rc.Start()
-			g.Recovery = rc
-		}
-		if m.opts.Admission != nil {
-			ac, err := admission.New(eng, pg.ID, plan.Config.P, pg.TenantIDs,
-				g.Instances, mon, g.Recovery, *m.opts.Admission)
-			if err != nil {
-				return nil, err
-			}
-			ac.SetTelemetry(tel)
-			grt := g
-			ac.OnLevelChange(func(level int) {
-				grt.SetSheddingOnly(level >= admission.LevelShedBestEffort)
-			})
-			ac.OnTick(grt.CacheStats)
-			ac.Start()
-			g.Admission = ac
 		}
 		dep.plane.Add(g)
 		dep.ready[pg.ID] = readyAt
 	}
 	return dep, nil
+}
+
+// buildGroup constructs one tenant-group on the given engine and domain:
+// node acquisition, MPPDB instances with every member bulk-loaded,
+// provisioning delays (Table 5.1 startup + load) unless Immediate, monitor,
+// router, and the optional recovery and admission controllers.
+func (m *Master) buildGroup(eng *sim.Engine, dom *sim.Domain, tel *telemetry.Hub,
+	pg advisor.PlannedGroup, p float64, tenants map[string]*tenant.Tenant) (*DeployedGroup, sim.Time, error) {
+	members := make([]*tenant.Tenant, 0, len(pg.TenantIDs))
+	var groupGB float64
+	for _, id := range pg.TenantIDs {
+		tn, ok := tenants[id]
+		if !ok {
+			return nil, 0, fmt.Errorf("master: plan references unknown tenant %s", id)
+		}
+		members = append(members, tn)
+		groupGB += tn.DataGB
+	}
+	g := &DeployedGroup{Plan: pg, Members: members}
+	var readyAt sim.Time
+	for i := 0; i < pg.Design.A; i++ {
+		nodes, err := pg.Design.GroupNodes(i)
+		if err != nil {
+			return nil, 0, err
+		}
+		id := fmt.Sprintf("%s-db%d", pg.ID, i)
+		if _, err := m.pool.Acquire(id, nodes); err != nil {
+			return nil, 0, fmt.Errorf("master: group %s: %w", pg.ID, err)
+		}
+		inst := mppdb.New(eng, id, nodes)
+		inst.SetTelemetry(tel)
+		for _, tn := range members {
+			inst.DeployTenant(tn.ID, tn.DataGB)
+		}
+		if !m.opts.Immediate {
+			inst.SetState(mppdb.Provisioning)
+			delay := cluster.StartupTime(nodes) + cluster.LoadTime(groupGB, nodes, m.opts.ParallelLoad)
+			at := eng.Now().Add(delay)
+			if at > readyAt {
+				readyAt = at
+			}
+			eng.After(delay, func(sim.Time) { inst.SetState(mppdb.Ready) })
+		}
+		g.Instances = append(g.Instances, inst)
+	}
+	mon, err := monitor.NewGroup(eng, pg.ID, pg.Design.A, m.opts.MonitorWindow)
+	if err != nil {
+		return nil, 0, err
+	}
+	rt, err := router.NewGroup(eng, pg.ID, g.Instances, members, mon)
+	if err != nil {
+		return nil, 0, err
+	}
+	mon.SetTelemetry(tel)
+	rt.SetTelemetry(tel)
+	g.Monitor = mon
+	g.Router = rt
+	g.Bind(dom)
+	g.SetTelemetry(tel)
+	if m.opts.Recovery != nil {
+		rc, err := recovery.New(eng, m.pool, pg.ID, g.Instances, *m.opts.Recovery)
+		if err != nil {
+			return nil, 0, err
+		}
+		rc.SetTelemetry(tel)
+		rc.Start()
+		g.Recovery = rc
+	}
+	if m.opts.Admission != nil {
+		ac, err := admission.New(eng, pg.ID, p, pg.TenantIDs,
+			g.Instances, mon, g.Recovery, *m.opts.Admission)
+		if err != nil {
+			return nil, 0, err
+		}
+		ac.SetTelemetry(tel)
+		grt := g
+		ac.OnLevelChange(func(level int) {
+			grt.SetSheddingOnly(level >= admission.LevelShedBestEffort)
+		})
+		ac.OnTick(grt.CacheStats)
+		ac.Start()
+		g.Admission = ac
+	}
+	return g, readyAt, nil
+}
+
+// DeployGroup provisions one additional tenant-group into a live deployment
+// — the online re-consolidation migration path. The group's MPPDBs acquire
+// nodes from the pool and provision with the Table 5.1 startup + bulk-load
+// delay (unless the master runs Immediate); the group joins the
+// deployment's plane *unindexed*, so no tenant routes to it until the
+// caller flips the tenant→group index at cutover (runtime.Plane.Index).
+// Shared-mode deployments put the group on the shared engine and domain
+// (the call must come from the engine's driver); sharded deployments give
+// it a private engine and domain. p is the run-time guarantee for the
+// optional admission controller. The returned time is when provisioning
+// completes (the engine's now under Immediate).
+func (m *Master) DeployGroup(dep *Deployment, pg advisor.PlannedGroup, p float64,
+	tenants map[string]*tenant.Tenant) (*DeployedGroup, sim.Time, error) {
+	eng, dom := m.eng, dep.dom
+	if dep.Sharded() {
+		eng = sim.NewEngine()
+		dom = sim.NewDomain(eng)
+	}
+	tel := dep.plane.Hub()
+	g, readyAt, err := m.buildGroup(eng, dom, tel, pg, p, tenants)
+	if err != nil {
+		return nil, 0, err
+	}
+	if readyAt == 0 {
+		readyAt = eng.Now()
+	}
+	dep.plane.Attach(g)
+	dep.mu.Lock()
+	dep.ready[pg.ID] = readyAt
+	dep.mu.Unlock()
+	return g, readyAt, nil
+}
+
+// ReleaseGroup detaches a drained group from the deployment and returns its
+// machine nodes to the pool. The caller must have migrated every member
+// away (the group no longer appears in the tenant→group index) and allowed
+// in-flight queries to finish.
+func (d *Deployment) ReleaseGroup(g *DeployedGroup) int {
+	d.plane.Detach(g)
+	freed := 0
+	for _, inst := range g.Instances {
+		freed += d.pool.Release(inst.ID())
+	}
+	return freed
 }
 
 // Groups returns the deployed tenant-groups.
@@ -231,7 +295,11 @@ func (d *Deployment) GroupFor(tenantID string) (*DeployedGroup, bool) {
 
 // ReadyAt returns when a group's provisioning completes (zero when deployed
 // with Options.Immediate).
-func (d *Deployment) ReadyAt(groupID string) sim.Time { return d.ready[groupID] }
+func (d *Deployment) ReadyAt(groupID string) sim.Time {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.ready[groupID]
+}
 
 // Submit routes a query for the tenant through its group's router. It is a
 // single-driver path: the caller must own the group's engine (shared-mode

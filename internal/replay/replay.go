@@ -221,7 +221,11 @@ func Run(eng *sim.Engine, dep *master.Deployment, cat *queries.Catalog,
 			if now >= opts.To {
 				return
 			}
-			if group.Router.TenantInFlight(to.Tenant) == 0 {
+			// Re-resolve the victim's group every round: the online control
+			// loop may have live-migrated the tenant since the last query
+			// (for a static deployment this is the same group every time).
+			g, ok := dep.GroupFor(to.Tenant)
+			if ok && g.Router.TenantInFlight(to.Tenant) == 0 {
 				rep.Submitted++
 				if _, err := dep.Submit(to.Tenant, class); err != nil {
 					rep.SubmitErrors++

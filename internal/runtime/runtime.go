@@ -15,6 +15,7 @@ package runtime
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -104,6 +105,27 @@ func (g *GroupRuntime) SubmitAt(at sim.Time, tenantID string, class *queries.Cla
 		db, err = g.Router.SubmitWithTarget(tenantID, class, sla)
 	})
 	return db, err
+}
+
+// AddMember appends a tenant to the group's member list. In-domain only —
+// the migration cutover calls it from an engine callback.
+func (g *GroupRuntime) AddMember(tn *tenant.Tenant) {
+	for _, m := range g.Members {
+		if m.ID == tn.ID {
+			return
+		}
+	}
+	g.Members = append(g.Members, tn)
+}
+
+// RemoveMember drops a tenant from the group's member list. In-domain only.
+func (g *GroupRuntime) RemoveMember(id string) {
+	for i, m := range g.Members {
+		if m.ID == id {
+			g.Members = append(g.Members[:i:i], g.Members[i+1:]...)
+			return
+		}
+	}
 }
 
 // RetryPolicy shapes SubmitWithRetry: how often a transiently failed submit
@@ -348,7 +370,15 @@ func (g *GroupRuntime) RecordsAt(at sim.Time) []monitor.QueryRecord {
 // Plane is the runtime half of a deployment: the deployed groups, a
 // tenant→group index for O(1) dispatch at the front door, and the deduped
 // set of clock domains driving them.
+//
+// The plane is mutable at run time: the online re-consolidation loop
+// attaches new groups while they provision, flips the tenant→group index
+// atomically at migration cutover, and detaches drained groups. All
+// membership state is guarded by one RWMutex; the lock is never held across
+// a domain advance, so index flips performed from inside an engine callback
+// cannot deadlock against concurrent readers driving the clock.
 type Plane struct {
+	mu      sync.RWMutex
 	groups  []*GroupRuntime
 	byTen   map[string]*GroupRuntime
 	domains sim.Domains
@@ -371,10 +401,27 @@ func NewPlane(hub *telemetry.Hub, sharded bool) *Plane {
 // Add registers a bound group: it is indexed by member tenant and its domain
 // joins the plane's domain set (shared domains are deduplicated).
 func (p *Plane) Add(g *GroupRuntime) {
-	p.groups = append(p.groups, g)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.register(g)
 	for _, tn := range g.Members {
 		p.byTen[tn.ID] = g
 	}
+}
+
+// Attach registers a bound group without indexing its members — the live
+// migration path: the group provisions in the background while every member
+// still routes to its current group, until Index flips them over at cutover.
+func (p *Plane) Attach(g *GroupRuntime) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.register(g)
+}
+
+// register adds the group to the group list and domain set; the caller holds
+// the write lock.
+func (p *Plane) register(g *GroupRuntime) {
+	p.groups = append(p.groups, g)
 	p.byDom[g.dom] = append(p.byDom[g.dom], g)
 	for _, d := range p.domains {
 		if d == g.dom {
@@ -384,17 +431,99 @@ func (p *Plane) Add(g *GroupRuntime) {
 	p.domains = append(p.domains, g.dom)
 }
 
-// Groups returns the plane's groups in deployment order.
-func (p *Plane) Groups() []*GroupRuntime { return p.groups }
+// Index atomically points the given tenants at g — the migration cutover
+// flip. Lookups before the call route to the tenants' previous groups,
+// lookups after it route to g; no lookup ever observes a torn state.
+func (p *Plane) Index(tenantIDs []string, g *GroupRuntime) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range tenantIDs {
+		p.byTen[id] = g
+	}
+}
+
+// Unindex removes tenants from the front-door index (tenant departure);
+// subsequent lookups fail.
+func (p *Plane) Unindex(tenantIDs []string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, id := range tenantIDs {
+		delete(p.byTen, id)
+	}
+}
+
+// Detach removes a drained group from the plane. Its domain leaves the
+// domain set when no other group shares it. Any tenants still indexed to the
+// group are unindexed.
+func (p *Plane) Detach(g *GroupRuntime) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for i, og := range p.groups {
+		if og == g {
+			p.groups = append(p.groups[:i:i], p.groups[i+1:]...)
+			break
+		}
+	}
+	gs := p.byDom[g.dom]
+	for i, og := range gs {
+		if og == g {
+			gs = append(gs[:i:i], gs[i+1:]...)
+			break
+		}
+	}
+	if len(gs) == 0 {
+		delete(p.byDom, g.dom)
+		for i, d := range p.domains {
+			if d == g.dom {
+				p.domains = append(p.domains[:i:i], p.domains[i+1:]...)
+				break
+			}
+		}
+	} else {
+		p.byDom[g.dom] = gs
+	}
+	for id, og := range p.byTen {
+		if og == g {
+			delete(p.byTen, id)
+		}
+	}
+}
+
+// Groups returns a snapshot of the plane's groups in deployment order.
+func (p *Plane) Groups() []*GroupRuntime {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make([]*GroupRuntime, len(p.groups))
+	copy(out, p.groups)
+	return out
+}
+
+// GroupByID returns the group with the given plan ID.
+func (p *Plane) GroupByID(id string) (*GroupRuntime, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, g := range p.groups {
+		if g.Plan.ID == id {
+			return g, true
+		}
+	}
+	return nil, false
+}
 
 // ForTenant returns the group hosting the tenant.
 func (p *Plane) ForTenant(id string) (*GroupRuntime, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
 	g, ok := p.byTen[id]
 	return g, ok
 }
 
 // Tenants returns the number of indexed tenants.
-func (p *Plane) Tenants() int { return len(p.byTen) }
+func (p *Plane) Tenants() int {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	return len(p.byTen)
+}
 
 // Sharded reports whether groups run on private clock domains.
 func (p *Plane) Sharded() bool { return p.sharded }
@@ -402,19 +531,27 @@ func (p *Plane) Sharded() bool { return p.sharded }
 // Hub returns the plane's telemetry hub.
 func (p *Plane) Hub() *telemetry.Hub { return p.hub }
 
-// Domains returns the plane's distinct clock domains.
-func (p *Plane) Domains() sim.Domains { return p.domains }
+// Domains returns a snapshot of the plane's distinct clock domains.
+func (p *Plane) Domains() sim.Domains {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	out := make(sim.Domains, len(p.domains))
+	copy(out, p.domains)
+	return out
+}
 
 // Now returns the most advanced group clock.
-func (p *Plane) Now() sim.Time { return p.domains.Now() }
+func (p *Plane) Now() sim.Time { return p.Domains().Now() }
 
 // AdvanceAll drives every domain up to the target time. Read-side endpoints
 // use it so a scrape reflects everything that should have happened by now.
 // A domain whose groups are all shedding-only is skipped: the brownout
 // controller owns its pacing, and a scrape must not queue behind — or pile
-// extra work onto — an overloaded group.
+// extra work onto — an overloaded group. The membership lock is released
+// before any domain advances: callbacks running inside an advance (the
+// online control loop) are free to mutate the plane.
 func (p *Plane) AdvanceAll(at sim.Time) {
-	for _, d := range p.domains {
+	for _, d := range p.Domains() {
 		if p.allShedding(d) {
 			continue
 		}
@@ -423,7 +560,9 @@ func (p *Plane) AdvanceAll(at sim.Time) {
 }
 
 func (p *Plane) allShedding(d *sim.Domain) bool {
-	gs := p.byDom[d]
+	p.mu.RLock()
+	gs := append([]*GroupRuntime(nil), p.byDom[d]...)
+	p.mu.RUnlock()
 	if len(gs) == 0 {
 		return false
 	}
@@ -439,7 +578,7 @@ func (p *Plane) allShedding(d *sim.Domain) bool {
 // deployment group order (each group's records in completion order).
 func (p *Plane) Records() []monitor.QueryRecord {
 	var out []monitor.QueryRecord
-	for _, g := range p.groups {
+	for _, g := range p.Groups() {
 		g.dom.Do(func(*sim.Engine) {
 			out = append(out, g.Monitor.Records()...)
 		})

@@ -39,6 +39,7 @@ import (
 	"repro/internal/billing"
 	"repro/internal/master"
 	"repro/internal/monitor"
+	"repro/internal/online"
 	"repro/internal/queries"
 	"repro/internal/runtime"
 	"repro/internal/sim"
@@ -67,6 +68,12 @@ type Server struct {
 	// pendMu guards pending registrations; they never touch a clock domain.
 	pendMu  sync.Mutex
 	pending []PendingTenant
+
+	// onlineMu guards the optional online control loop and the last offline
+	// re-consolidation report.
+	onlineMu    sync.Mutex
+	online      *online.Controller
+	reconReport *advisor.ReconsolidationReport
 
 	matcher *sqlmatch.Matcher
 	mux     *http.ServeMux
@@ -150,6 +157,8 @@ func New(dep *master.Deployment, cat *queries.Catalog,
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	s.mux.HandleFunc("GET /v1/admission", s.handleAdmission)
+	s.mux.HandleFunc("GET /v1/online", s.handleOnline)
+	s.mux.HandleFunc("GET /v1/reconsolidation", s.handleReconsolidation)
 	if !cfg.DisableMetrics {
 		s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	}
@@ -707,6 +716,77 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"enabled": len(groups) > 0,
 		"groups":  groups,
+	})
+}
+
+// SetOnline attaches the deployment's online re-consolidation loop so
+// GET /v1/online can report it. Pass nil to detach.
+func (s *Server) SetOnline(ctl *online.Controller) {
+	s.onlineMu.Lock()
+	s.online = ctl
+	s.onlineMu.Unlock()
+}
+
+// SetReconsolidationReport stores the report of the last offline
+// re-consolidation cycle for GET /v1/reconsolidation.
+func (s *Server) SetReconsolidationReport(rep *advisor.ReconsolidationReport) {
+	s.onlineMu.Lock()
+	s.reconReport = rep
+	s.onlineMu.Unlock()
+}
+
+// handleOnline reports the online control loop: cumulative counters and every
+// live migration executed or in flight. Virtual time is advanced first so
+// control ticks due by now have fired.
+func (s *Server) handleOnline(w http.ResponseWriter, r *http.Request) {
+	s.onlineMu.Lock()
+	ctl := s.online
+	s.onlineMu.Unlock()
+	if ctl == nil {
+		writeJSON(w, http.StatusOK, map[string]any{"enabled": false})
+		return
+	}
+	t := s.target()
+	s.topo.RLock()
+	s.dep.Plane().AdvanceAll(t)
+	s.topo.RUnlock()
+	migs := ctl.Migrations()
+	if migs == nil {
+		migs = []online.Migration{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":    true,
+		"stats":      ctl.Status(),
+		"migrations": migs,
+	})
+}
+
+// handleReconsolidation surfaces the per-group keep/repack decisions of the
+// most recent re-consolidation: the online loop's last scoped fallback when
+// one has run, otherwise the last offline cycle's stored report.
+func (s *Server) handleReconsolidation(w http.ResponseWriter, r *http.Request) {
+	s.onlineMu.Lock()
+	ctl := s.online
+	rep := s.reconReport
+	s.onlineMu.Unlock()
+	source := "offline"
+	if ctl != nil {
+		t := s.target()
+		s.topo.RLock()
+		s.dep.Plane().AdvanceAll(t)
+		s.topo.RUnlock()
+		if lr := ctl.LastReport(); lr != nil {
+			rep = lr
+			source = "online"
+		}
+	}
+	if rep == nil {
+		writeErr(w, http.StatusNotFound, "no re-consolidation has run yet")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"source": source,
+		"report": rep,
 	})
 }
 

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
@@ -16,6 +17,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/epoch"
 	"repro/internal/master"
+	"repro/internal/online"
 	"repro/internal/queries"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
@@ -681,5 +683,175 @@ func TestInstallValidation(t *testing.T) {
 	srv, _, _ := testServer(t)
 	if err := srv.Install(nil, nil); err == nil {
 		t.Error("nil install accepted")
+	}
+}
+
+// rawPost is post without t.Fatal, safe to call from worker goroutines.
+func rawPost(ts *httptest.Server, path string, body any, out any) (int, error) {
+	b, _ := json.Marshal(body)
+	resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	} else {
+		_, _ = io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode, nil
+}
+
+// TestSubmitDuringInstallWindow hammers submits from every tenant while the
+// topology is swapped underneath them, repeatedly. A tenant deployed in both
+// the old and the new plan must land every query in one of the two — a
+// spurious "not deployed" rejection mid-install would mean the swap exposed
+// a torn topology.
+func TestSubmitDuringInstallWindow(t *testing.T) {
+	srv, ts, _ := testServerMode(t, true)
+	ids := []string{"t1", "t2", "t3", "t4"}
+	stop := make(chan struct{})
+	errCh := make(chan string, len(ids))
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				var body map[string]any
+				code, err := rawPost(ts, "/v1/queries", SubmitRequest{Tenant: id, Query: "TPCH-Q6"}, &body)
+				if err != nil {
+					errCh <- err.Error()
+					return
+				}
+				if code != http.StatusAccepted {
+					errCh <- fmt.Sprintf("tenant %s: status %d during install window: %v", id, code, body)
+					return
+				}
+			}
+		}(id)
+	}
+	// Eight back-to-back re-consolidation cycles while the hammers run.
+	for i := 0; i < 8; i++ {
+		dep, plan := deployTenants(t, ids, true)
+		if err := srv.Install(dep, plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	close(errCh)
+	for e := range errCh {
+		t.Error(e)
+	}
+}
+
+// TestOnlineEndpointsDetached covers the default state: no control loop, no
+// report.
+func TestOnlineEndpointsDetached(t *testing.T) {
+	srv, ts, _ := testServer(t)
+	var st map[string]any
+	if code := get(t, ts, "/v1/online", &st); code != http.StatusOK {
+		t.Fatalf("online status %d", code)
+	}
+	if st["enabled"] != false {
+		t.Errorf("online enabled = %v, want false", st["enabled"])
+	}
+	if code := get(t, ts, "/v1/reconsolidation", nil); code != http.StatusNotFound {
+		t.Errorf("reconsolidation status %d, want 404", code)
+	}
+	srv.SetReconsolidationReport(&advisor.ReconsolidationReport{
+		KeptGroups: 1,
+		Decisions:  []advisor.GroupDecision{{Group: "TG-0000", Kept: true, Reason: advisor.ReasonUnflagged}},
+	})
+	var rep struct {
+		Source string                        `json:"source"`
+		Report advisor.ReconsolidationReport `json:"report"`
+	}
+	if code := get(t, ts, "/v1/reconsolidation", &rep); code != http.StatusOK {
+		t.Fatalf("reconsolidation status %d after set", code)
+	}
+	if rep.Source != "offline" || len(rep.Report.Decisions) != 1 || rep.Report.Decisions[0].Reason != advisor.ReasonUnflagged {
+		t.Errorf("reconsolidation = %+v", rep)
+	}
+}
+
+// TestOnlineEndpointAttached wires a live controller into the server: the
+// endpoint advances virtual time (so due control ticks fire) and reports the
+// loop's counters.
+func TestOnlineEndpointAttached(t *testing.T) {
+	ids := []string{"t1", "t2", "t3", "t4"}
+	tenants := map[string]*tenant.Tenant{}
+	var logs []*workload.TenantLog
+	for i, id := range ids {
+		tn := &tenant.Tenant{ID: id, Nodes: 2, DataGB: 200, Users: 1, Suite: queries.TPCH}
+		tenants[id] = tn
+		w := sim.Time(i) * 6 * sim.Hour
+		logs = append(logs, &workload.TenantLog{
+			Tenant:   tn,
+			Activity: epoch.Activity{{Start: w, End: w + sim.Hour}},
+		})
+	}
+	acfg := advisor.DefaultConfig()
+	acfg.R = 2
+	adv, err := advisor.New(acfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := adv.Plan(logs, sim.Day)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := sim.NewEngine()
+	mst := master.New(eng, cluster.NewPool(64), master.Options{Immediate: true})
+	dep, err := mst.Deploy(plan, tenants)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ocfg := online.DefaultConfig(acfg, sim.Day)
+	ocfg.Immediate = true
+	ctl, err := online.New(eng, dep, mst, plan, logs, ocfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl.Start()
+	srv, err := New(dep, queries.Default(), plan, Config{TimeScale: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetOnline(ctl)
+	wall := time.Unix(0, 0)
+	srv.SetClock(func() time.Time { return wall }, time.Unix(0, 0))
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+
+	// One wall minute at 60× = one virtual hour = four 15-minute ticks.
+	wall = wall.Add(time.Minute)
+	var out struct {
+		Enabled    bool               `json:"enabled"`
+		Stats      online.Stats       `json:"stats"`
+		Migrations []online.Migration `json:"migrations"`
+	}
+	if code := get(t, ts, "/v1/online", &out); code != http.StatusOK {
+		t.Fatalf("online status %d", code)
+	}
+	if !out.Enabled {
+		t.Fatal("online not enabled after SetOnline")
+	}
+	if out.Stats.Ticks < 1 {
+		t.Errorf("control ticks = %d, want >= 1 after an hour", out.Stats.Ticks)
+	}
+	if out.Stats.Tenants != len(ids) {
+		t.Errorf("tracked tenants = %d, want %d", out.Stats.Tenants, len(ids))
+	}
+	if out.Migrations == nil {
+		t.Error("migrations is null, want []")
 	}
 }

@@ -63,6 +63,27 @@ const (
 	EventBrownoutEntered EventType = "brownout_entered"
 	// EventBrownoutCleared: the group returned to normal admission.
 	EventBrownoutCleared EventType = "brownout_cleared"
+	// EventDriftDetected: the online control loop observed a tenant's live
+	// activity diverging from its planned profile far enough to matter.
+	EventDriftDetected EventType = "drift_detected"
+	// EventOnlineReplan: the online control loop re-placed a tenant — a
+	// join, a departure, or a local repair move restoring the fuzzy-capacity
+	// constraint.
+	EventOnlineReplan EventType = "online_replan"
+	// EventOnlineFallback: local repair could not restore the constraint and
+	// the loop escalated to a scoped offline re-consolidation.
+	EventOnlineFallback EventType = "online_fallback"
+	// EventMigrationStarted: a live migration began provisioning its target
+	// (Table 5.1 startup + reload costing); queries keep draining through
+	// the source group.
+	EventMigrationStarted EventType = "migration_started"
+	// EventMigrationCutover: the target finished provisioning and the
+	// tenant→group index flipped atomically; new queries route to the
+	// target while in-flight queries finish on the source.
+	EventMigrationCutover EventType = "migration_cutover"
+	// EventGroupRetired: a drained source group released its nodes back to
+	// the pool after its post-cutover drain slack.
+	EventGroupRetired EventType = "group_retired"
 )
 
 // Event is one occurrence on the SLA timeline.
