@@ -1,10 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos-smoke overload-smoke grouping-smoke online-smoke bench bench-grouping bench-online
+.PHONY: check vet build test race chaos-smoke overload-smoke grouping-smoke online-smoke service-smoke bench bench-grouping bench-online bench-service
 
 # The full pre-commit gate: static checks, build, the bounded chaos,
-# overload, grouping and online smokes, and the race-enabled suite.
-check: vet build chaos-smoke overload-smoke grouping-smoke online-smoke race
+# overload, grouping, online and service smokes, and the race-enabled suite.
+check: vet build chaos-smoke overload-smoke grouping-smoke online-smoke service-smoke race
 
 vet:
 	$(GO) vet ./...
@@ -51,6 +51,21 @@ bench:
 # regressions show up in review).
 bench-grouping:
 	BENCH_JSON_OUT=$(CURDIR)/BENCH_grouping.json $(GO) test -run TestWriteBenchJSON -count=1 -v ./internal/grouping
+
+# Batched-submit smoke with the race detector on: per-item error
+# partitioning over /v1/submit-batch (a 429/503/504 never drops a healthy
+# batch-mate), batched-vs-per-query telemetry equivalence in both clock
+# layouts, and the coalesced concurrent single-submit path.
+service-smoke:
+	$(GO) test -race -run 'TestBatchErrorPartitioning|TestConcurrentSubmitsAndScrapes|TestShardedConcurrentSubmits' -count=1 ./internal/service
+	$(GO) test -race -run 'TestBatchSubmitEquivalence' -count=1 .
+
+# Submit-path benchmark run: single vs 64-query batched submits over HTTP in
+# both clock layouts, plus the runtime-layer batched path (which must stay
+# allocation-free). Persists to BENCH_service.json (committed) and fails if
+# the batched path drops below 3x the recorded pre-PR baseline.
+bench-service:
+	BENCH_JSON_OUT=$(CURDIR)/BENCH_service.json $(GO) test -run TestWriteServiceBenchJSON -count=1 -v -timeout 20m .
 
 # Online-loop benchmark run: steady-state re-plan latency at 10k and 100k
 # tenants against the epoch width, plus the drift scenario's online-vs-oracle

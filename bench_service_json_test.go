@@ -1,0 +1,128 @@
+package thrifty
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
+
+// ServiceBenchRecord is one submit-path benchmark's measurements as
+// persisted to BENCH_service.json by `make bench-service`.
+type ServiceBenchRecord struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	NsPerQuery  float64 `json:"ns_per_query"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	// SpeedupVsBaseline is ops/sec per query relative to the pre-PR
+	// single-submit baseline on the matching clock layout.
+	SpeedupVsBaseline float64 `json:"speedup_vs_baseline,omitempty"`
+}
+
+// ServiceBenchFile is the schema of BENCH_service.json.
+type ServiceBenchFile struct {
+	Method   string               `json:"method"`
+	Baseline []ServiceBenchRecord `json:"baseline_pre_pr"`
+	Results  []ServiceBenchRecord `json:"results"`
+}
+
+// Pre-PR single-submit baseline (ns/op == ns/query; 63 allocs per submit),
+// measured on the commit before the batched submit pipeline landed, via a
+// git worktree running the identical steady-state harness (TimeScale 36000,
+// one tenant per group, 64-tenant seed-7 workload) interleaved with the
+// post-PR runs on the same machine; minimum of 3 × 2 s runs. The pre-PR
+// code has no batch endpoint, so this cannot be re-measured in-tree —
+// treat it as the recorded denominator for SpeedupVsBaseline.
+const (
+	baselineSharedNs  = 17814
+	baselineShardedNs = 16262
+	baselineAllocs    = 63
+)
+
+// TestWriteServiceBenchJSON runs the service submit benchmarks (best of 3
+// each) and writes their measurements to the path in BENCH_JSON_OUT. It is
+// skipped unless that variable is set (`make bench-service` sets it), so the
+// regular test suite stays fast. The batched path must hold its ≥3× per-query
+// speedup over the pre-PR single-submit baseline.
+func TestWriteServiceBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON_OUT")
+	if out == "" {
+		t.Skip("BENCH_JSON_OUT not set; run via `make bench-service`")
+	}
+	best := func(run func(*testing.B)) testing.BenchmarkResult {
+		var r testing.BenchmarkResult
+		for i := 0; i < 3; i++ {
+			c := testing.Benchmark(run)
+			if i == 0 || c.NsPerOp() < r.NsPerOp() {
+				r = c
+			}
+		}
+		return r
+	}
+	record := func(name string, r testing.BenchmarkResult, baseNs float64) ServiceBenchRecord {
+		perQuery := float64(r.NsPerOp())
+		if q, ok := r.Extra["ns/query"]; ok {
+			perQuery = q
+		}
+		rec := ServiceBenchRecord{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     r.NsPerOp(),
+			NsPerQuery:  perQuery,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if baseNs > 0 && perQuery > 0 {
+			rec.SpeedupVsBaseline = baseNs / perQuery
+		}
+		return rec
+	}
+	file := ServiceBenchFile{
+		Method: "best of 3 testing.Benchmark runs per bench; ns_per_query is the per-submit cost " +
+			"(ns_per_op for singles, the ns/query metric for whole-batch and runtime ops)",
+		Baseline: []ServiceBenchRecord{
+			{Name: "baseline-single-shared", NsPerOp: baselineSharedNs, NsPerQuery: baselineSharedNs, AllocsPerOp: baselineAllocs},
+			{Name: "baseline-single-sharded", NsPerOp: baselineShardedNs, NsPerQuery: baselineShardedNs, AllocsPerOp: baselineAllocs},
+		},
+	}
+	for _, bm := range []struct {
+		name   string
+		baseNs float64
+		run    func(*testing.B)
+	}{
+		{"single-shared", baselineSharedNs, func(b *testing.B) { benchConcurrentSubmits(b, false) }},
+		{"single-sharded", baselineShardedNs, func(b *testing.B) { benchConcurrentSubmits(b, true) }},
+		{"batch64-shared", baselineSharedNs, func(b *testing.B) { benchBatchSubmits(b, false, 64) }},
+		{"batch64-sharded", baselineShardedNs, func(b *testing.B) { benchBatchSubmits(b, true, 64) }},
+		{"runtime-batch64", 0, BenchmarkRuntime_BatchSubmit},
+	} {
+		r := best(bm.run)
+		rec := record(bm.name, r, bm.baseNs)
+		file.Results = append(file.Results, rec)
+		t.Logf("%s: %.0f ns/query, %d allocs/op (%.2fx baseline)",
+			rec.Name, rec.NsPerQuery, rec.AllocsPerOp, rec.SpeedupVsBaseline)
+	}
+	for _, rec := range file.Results {
+		switch rec.Name {
+		case "batch64-shared", "batch64-sharded":
+			if rec.SpeedupVsBaseline < 3 {
+				t.Errorf("%s speedup %.2fx, acceptance bar is 3x over the pre-PR baseline",
+					rec.Name, rec.SpeedupVsBaseline)
+			}
+		case "runtime-batch64":
+			if rec.AllocsPerOp != 0 {
+				t.Errorf("runtime batched path allocates (%d allocs per 64-query batch), want 0",
+					rec.AllocsPerOp)
+			}
+		}
+	}
+	buf, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -12,6 +12,7 @@ import (
 	"repro/internal/recovery"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 )
 
 // Brownout levels. The controller progressively sheds the least protected
@@ -205,6 +206,10 @@ type Controller struct {
 	insts   []*mppdb.Instance
 	states  map[string]*tenantState // read-only after New
 	order   []string                // sorted member IDs
+	// Interned fast path (optional, via AdoptInterner): member states
+	// indexed by the group's dense tenant refs for AdmitRef.
+	in    *tenant.Interner
+	byRef []*tenantState
 	level   atomic.Int32
 	waiting atomic.Int32
 	started bool
@@ -272,6 +277,21 @@ func New(eng *sim.Engine, group string, p float64, members []string,
 
 // Group returns the controller's tenant-group ID.
 func (c *Controller) Group() string { return c.group }
+
+// AdoptInterner indexes the member states by the group interner's dense refs
+// so the submit hot path can use AdmitRef instead of the string map. Call
+// before the controller serves traffic (master wires it at deploy).
+func (c *Controller) AdoptInterner(in *tenant.Interner) {
+	c.in = in
+	c.byRef = nil
+	for id, ts := range c.states {
+		ref := in.Intern(id)
+		for int(ref) >= len(c.byRef) {
+			c.byRef = append(c.byRef, nil)
+		}
+		c.byRef[ref] = ts
+	}
+}
 
 // SetTelemetry wires the hub; call before Start.
 func (c *Controller) SetTelemetry(h *telemetry.Hub) {
@@ -372,8 +392,27 @@ func (c *Controller) QueueDepth() int { return int(c.waiting.Load()) }
 // Must run under the group's clock domain. A nil return admits; otherwise
 // the error is a *ContractExceededError (429) or *ShedError (503).
 func (c *Controller) Admit(tenant string, sla sim.Time, bestEffort bool) error {
+	return c.admit(c.states[tenant], tenant, sla, bestEffort)
+}
+
+// AdmitRef is Admit over an interned tenant ref (requires AdoptInterner):
+// the member state resolves with one slice index instead of a string hash.
+func (c *Controller) AdmitRef(ref tenant.Ref, sla sim.Time, bestEffort bool) error {
+	var ts *tenantState
+	if ref >= 0 && int(ref) < len(c.byRef) {
+		ts = c.byRef[ref]
+	}
+	name := ""
+	if ts != nil {
+		name = ts.tenant
+	} else if c.in != nil {
+		name = c.in.ID(ref)
+	}
+	return c.admit(ts, name, sla, bestEffort)
+}
+
+func (c *Controller) admit(ts *tenantState, tenant string, sla sim.Time, bestEffort bool) error {
 	level := int(c.level.Load())
-	ts := c.states[tenant]
 	if bestEffort && level >= LevelShedBestEffort {
 		if ts != nil {
 			ts.shed.Add(1)

@@ -162,6 +162,10 @@ func (m *Master) buildGroup(eng *sim.Engine, dom *sim.Domain, tel *telemetry.Hub
 		groupGB += tn.DataGB
 	}
 	g := &DeployedGroup{Plan: pg, Members: members}
+	// One interner per group, shared by every instance (and adopted by the
+	// router and admission controller): tenant refs resolved once at the
+	// front door stay valid across the whole group.
+	interner := tenant.NewInterner()
 	var readyAt sim.Time
 	for i := 0; i < pg.Design.A; i++ {
 		nodes, err := pg.Design.GroupNodes(i)
@@ -172,7 +176,7 @@ func (m *Master) buildGroup(eng *sim.Engine, dom *sim.Domain, tel *telemetry.Hub
 		if _, err := m.pool.Acquire(id, nodes); err != nil {
 			return nil, 0, fmt.Errorf("master: group %s: %w", pg.ID, err)
 		}
-		inst := mppdb.New(eng, id, nodes)
+		inst := mppdb.NewInterned(eng, id, nodes, interner)
 		inst.SetTelemetry(tel)
 		for _, tn := range members {
 			inst.DeployTenant(tn.ID, tn.DataGB)
@@ -218,6 +222,7 @@ func (m *Master) buildGroup(eng *sim.Engine, dom *sim.Domain, tel *telemetry.Hub
 			return nil, 0, err
 		}
 		ac.SetTelemetry(tel)
+		ac.AdoptInterner(interner)
 		grt := g
 		ac.OnLevelChange(func(level int) {
 			grt.SetSheddingOnly(level >= admission.LevelShedBestEffort)

@@ -238,7 +238,10 @@ func (m *GroupMonitor) pruneViolations() {
 		i++
 	}
 	if i > 0 {
-		m.violations = append([]epoch.Interval(nil), m.violations[i:]...)
+		// Shift in place: the slice is internal-only (readers copy), so
+		// pruning must not reallocate on every violation close.
+		n := copy(m.violations, m.violations[i:])
+		m.violations = m.violations[:n]
 	}
 }
 
@@ -250,7 +253,10 @@ func (m *GroupMonitor) pruneTenant(t string) {
 		i++
 	}
 	if i > 0 {
-		m.perTenant[t] = append([]epoch.Interval(nil), ivs[i:]...)
+		// Shift in place: TenantActivity hands callers a copy, so the
+		// per-tenant log can reuse its backing array across prunes.
+		n := copy(ivs, ivs[i:])
+		m.perTenant[t] = ivs[:n]
 	}
 }
 
@@ -324,6 +330,10 @@ func (m *GroupMonitor) Tenants() []string {
 
 // Records returns all completed query records (including excluded tenants').
 func (m *GroupMonitor) Records() []QueryRecord { return m.records }
+
+// RecordCount returns the number of completed-query records retained. The
+// log is append-only, so the count alone detects staleness of a copy.
+func (m *GroupMonitor) RecordCount() int { return len(m.records) }
 
 // SLAAttainment returns the fraction of completed queries that met their
 // SLA. It returns 1 when nothing completed yet.

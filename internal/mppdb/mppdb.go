@@ -18,6 +18,11 @@
 // timing model), degraded operation under node failure, and report per-query
 // results with slowdown relative to both the instance-isolated latency and
 // the tenant's SLA target.
+//
+// Per-tenant state (deployed data, running counts) is keyed by interned
+// tenant refs (package tenant): flat slices indexed by the group-local dense
+// Ref replace the string-keyed maps that used to dominate the submit
+// profile. The string API remains as a thin shim over the ref path.
 package mppdb
 
 import (
@@ -27,6 +32,7 @@ import (
 	"repro/internal/queries"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 )
 
 // State is the lifecycle state of an MPPDB instance.
@@ -86,16 +92,23 @@ func (r Result) Slowdown() float64 {
 	return float64(r.Latency()) / float64(r.Isolated)
 }
 
-// exec is one in-flight query.
+// exec is one in-flight query. Execs are recycled through a per-instance
+// freelist; idx tracks the slot in the live slice so removal is O(1).
 type exec struct {
 	id        int64
-	tenant    string
+	ref       tenant.Ref
 	class     *queries.Class
 	submit    sim.Time
 	isolated  sim.Time
 	remaining float64 // seconds of dedicated-instance work left
 	maxConc   int
-	done      func(Result)
+	idx       int // position in Instance.execs; -1 once finished
+	// tag correlates the pooled completion path (SubmitTagged /
+	// SetCompletionHandler); done is the legacy per-call closure and is nil
+	// on the tagged path.
+	tag    uint64
+	tagged bool
+	done   func(Result)
 }
 
 // Instance is one simulated MPPDB.
@@ -104,16 +117,33 @@ type Instance struct {
 	nodes int
 	eng   *sim.Engine
 	state State
+	in    *tenant.Interner
 
-	// Tenant deployments: data size per tenant schema.
-	tenantGB map[string]float64
+	// Per-tenant state, indexed by the group interner's dense refs. A ref is
+	// deployed here iff deployed[ref]; slices may be shorter than the
+	// interner when other instances interned tenants first, so reads bounds-
+	// check.
+	tenantGB []float64
+	deployed []bool
+	running  []int32
 
-	// Processor-sharing executor state.
-	execs      map[int64]*exec
-	byTenant   map[string]int
+	// Processor-sharing executor state. execs is the live set (swap-remove
+	// on completion: every consumer of the slice — advance, reschedule,
+	// maxConc — is iteration-order independent).
+	execs      []*exec
+	freeExecs  []*exec
 	nextExecID int64
 	lastTouch  sim.Time
+
+	// completion is the single outstanding predicted-completion event
+	// (engine-owned, recycled); nextDone is the exec it targets and
+	// completeCb the one persistent callback shared by every reschedule.
 	completion *sim.Event
+	nextDone   *exec
+	completeCb func(sim.Time)
+
+	// onDone receives completions of SubmitTagged queries with their tag.
+	onDone func(Result, uint64)
 
 	failedNodes int
 
@@ -128,21 +158,37 @@ type Instance struct {
 
 // New creates an instance that is immediately Ready (provisioning timing is
 // the Deployment Master's concern; tests and the router use ready
-// instances directly).
+// instances directly). The instance owns a private interner; production
+// groups share one across router, instances, and admission via NewInterned.
 func New(eng *sim.Engine, id string, nodes int) *Instance {
+	return NewInterned(eng, id, nodes, tenant.NewInterner())
+}
+
+// NewInterned creates a Ready instance whose per-tenant state is keyed by
+// the given shared interner, so refs resolved by the group's router are
+// valid on this instance directly.
+func NewInterned(eng *sim.Engine, id string, nodes int, in *tenant.Interner) *Instance {
 	if nodes < 1 {
 		panic(fmt.Sprintf("mppdb: instance %q with %d nodes", id, nodes))
 	}
-	return &Instance{
-		id:       id,
-		nodes:    nodes,
-		eng:      eng,
-		state:    Ready,
-		tenantGB: make(map[string]float64),
-		execs:    make(map[int64]*exec),
-		byTenant: make(map[string]int),
+	m := &Instance{
+		id:    id,
+		nodes: nodes,
+		eng:   eng,
+		state: Ready,
+		in:    in,
 	}
+	m.completeCb = func(now sim.Time) {
+		// The handle is dead the instant the event fires: drop it before
+		// anything can reschedule (the engine recycles it after we return).
+		m.completion = nil
+		m.complete(m.nextDone)
+	}
+	return m
 }
+
+// Interner returns the interner keying this instance's per-tenant state.
+func (m *Instance) Interner() *tenant.Interner { return m.in }
 
 // SetTelemetry attaches a telemetry hub: per-query service-demand and
 // sojourn-time histograms plus the instance's concurrency level. A nil hub
@@ -158,6 +204,11 @@ func (m *Instance) SetTelemetry(h *telemetry.Hub) {
 	m.mCompleted = h.Registry.Counter("thrifty_mppdb_completed_total", "mppdb", m.id)
 }
 
+// SetCompletionHandler installs the pooled completion path: queries started
+// with SubmitTagged report here with their submit-time tag instead of
+// through a per-call closure.
+func (m *Instance) SetCompletionHandler(fn func(Result, uint64)) { m.onDone = fn }
+
 // ID returns the instance identifier.
 func (m *Instance) ID() string { return m.id }
 
@@ -171,29 +222,66 @@ func (m *Instance) State() State { return m.state }
 // Provisioning → Loading → Ready.
 func (m *Instance) SetState(s State) { m.state = s }
 
+// ensure grows the per-ref slices to cover ref.
+func (m *Instance) ensure(ref tenant.Ref) {
+	for int(ref) >= len(m.tenantGB) {
+		m.tenantGB = append(m.tenantGB, 0)
+		m.deployed = append(m.deployed, false)
+		m.running = append(m.running, 0)
+	}
+}
+
+// DeployTenantRef registers a tenant schema of dataGB by interned ref.
+func (m *Instance) DeployTenantRef(ref tenant.Ref, dataGB float64) {
+	if ref < 0 {
+		return
+	}
+	m.ensure(ref)
+	m.tenantGB[ref] = dataGB
+	m.deployed[ref] = true
+}
+
 // DeployTenant registers a tenant schema of dataGB on this instance. The
 // bulk-load *timing* is applied by the caller (Deployment Master / elastic
 // scaler) via cluster.LoadTime; Deploy itself is bookkeeping.
-func (m *Instance) DeployTenant(tenant string, dataGB float64) {
-	m.tenantGB[tenant] = dataGB
+func (m *Instance) DeployTenant(tenantID string, dataGB float64) {
+	m.DeployTenantRef(m.in.Intern(tenantID), dataGB)
+}
+
+// RemoveTenantRef drops a tenant schema by ref.
+func (m *Instance) RemoveTenantRef(ref tenant.Ref) {
+	if ref < 0 || int(ref) >= len(m.deployed) {
+		return
+	}
+	m.deployed[ref] = false
+	m.tenantGB[ref] = 0
 }
 
 // RemoveTenant drops a tenant schema.
-func (m *Instance) RemoveTenant(tenant string) {
-	delete(m.tenantGB, tenant)
+func (m *Instance) RemoveTenant(tenantID string) {
+	if ref, ok := m.in.Lookup(tenantID); ok {
+		m.RemoveTenantRef(ref)
+	}
+}
+
+// HasTenantRef reports whether the ref's data is deployed here.
+func (m *Instance) HasTenantRef(ref tenant.Ref) bool {
+	return ref >= 0 && int(ref) < len(m.deployed) && m.deployed[ref]
 }
 
 // HasTenant reports whether the tenant's data is deployed here.
-func (m *Instance) HasTenant(tenant string) bool {
-	_, ok := m.tenantGB[tenant]
-	return ok
+func (m *Instance) HasTenant(tenantID string) bool {
+	ref, ok := m.in.Lookup(tenantID)
+	return ok && m.HasTenantRef(ref)
 }
 
 // Tenants returns the deployed tenant IDs, sorted.
 func (m *Instance) Tenants() []string {
-	out := make([]string, 0, len(m.tenantGB))
-	for t := range m.tenantGB {
-		out = append(out, t)
+	var out []string
+	for ref, dep := range m.deployed {
+		if dep {
+			out = append(out, m.in.ID(tenant.Ref(ref)))
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -202,8 +290,10 @@ func (m *Instance) Tenants() []string {
 // TenantDataGB returns the total deployed data volume in GB.
 func (m *Instance) TenantDataGB() float64 {
 	var gb float64
-	for _, v := range m.tenantGB {
-		gb += v
+	for ref, dep := range m.deployed {
+		if dep {
+			gb += m.tenantGB[ref]
+		}
 	}
 	return gb
 }
@@ -239,8 +329,22 @@ func (m *Instance) Busy() bool { return len(m.execs) > 0 }
 // Running returns the number of in-flight queries.
 func (m *Instance) Running() int { return len(m.execs) }
 
+// RefRunning returns the number of in-flight queries of one tenant ref.
+func (m *Instance) RefRunning(ref tenant.Ref) int {
+	if ref < 0 || int(ref) >= len(m.running) {
+		return 0
+	}
+	return int(m.running[ref])
+}
+
 // TenantRunning returns the number of in-flight queries of one tenant.
-func (m *Instance) TenantRunning(tenant string) int { return m.byTenant[tenant] }
+func (m *Instance) TenantRunning(tenantID string) int {
+	ref, ok := m.in.Lookup(tenantID)
+	if !ok {
+		return 0
+	}
+	return m.RefRunning(ref)
+}
 
 // FailNode degrades the instance by one node (the MPPDB "can still stay
 // online even with some node failure", §4.4). Execution slows
@@ -281,52 +385,127 @@ func (m *Instance) speed() float64 {
 // online even with some node failure", just slower).
 func (m *Instance) SpeedFactor() float64 { return m.speed() }
 
+// IsolatedLatencyRef returns the latency the query class would see on this
+// instance, alone and healthy, for the given tenant ref's data.
+func (m *Instance) IsolatedLatencyRef(ref tenant.Ref, class *queries.Class) (sim.Time, error) {
+	if !m.HasTenantRef(ref) {
+		return 0, fmt.Errorf("mppdb %s: tenant %q not deployed", m.id, m.in.ID(ref))
+	}
+	return sim.Duration(class.Latency(m.tenantGB[ref], m.nodes)), nil
+}
+
 // IsolatedLatency returns the latency the query class would see on this
 // instance, alone and healthy, for the given tenant's data.
-func (m *Instance) IsolatedLatency(tenant string, class *queries.Class) (sim.Time, error) {
-	gb, ok := m.tenantGB[tenant]
+func (m *Instance) IsolatedLatency(tenantID string, class *queries.Class) (sim.Time, error) {
+	ref, ok := m.in.Lookup(tenantID)
 	if !ok {
-		return 0, fmt.Errorf("mppdb %s: tenant %q not deployed", m.id, tenant)
+		return 0, fmt.Errorf("mppdb %s: tenant %q not deployed", m.id, tenantID)
 	}
-	return sim.Duration(class.Latency(gb, m.nodes)), nil
+	return m.IsolatedLatencyRef(ref, class)
 }
 
 // Submit starts executing a query for a deployed tenant. done (optional) is
 // invoked when the query completes. Submit returns the isolated latency so
 // callers can set expectations without re-deriving it.
-func (m *Instance) Submit(tenant string, class *queries.Class, done func(Result)) (sim.Time, error) {
+func (m *Instance) Submit(tenantID string, class *queries.Class, done func(Result)) (sim.Time, error) {
+	ref, ok := m.in.Lookup(tenantID)
+	if !ok {
+		return 0, fmt.Errorf("mppdb %s: tenant %q not deployed", m.id, tenantID)
+	}
+	return m.submit(ref, class, done, 0, false)
+}
+
+// SubmitTagged is the pooled hot path: the query is identified by its
+// interned ref, and completion reports through the instance-level handler
+// (SetCompletionHandler) with tag — no per-call closure is allocated.
+func (m *Instance) SubmitTagged(ref tenant.Ref, class *queries.Class, tag uint64) (sim.Time, error) {
+	return m.submit(ref, class, nil, tag, true)
+}
+
+func (m *Instance) submit(ref tenant.Ref, class *queries.Class, done func(Result), tag uint64, tagged bool) (sim.Time, error) {
 	if m.state != Ready {
 		return 0, fmt.Errorf("mppdb %s: not ready (%v)", m.id, m.state)
 	}
-	iso, err := m.IsolatedLatency(tenant, class)
+	iso, err := m.IsolatedLatencyRef(ref, class)
 	if err != nil {
 		return 0, err
 	}
-	m.advance()
+	now := m.eng.Now()
 	m.nextExecID++
-	ex := &exec{
-		id:        m.nextExecID,
-		tenant:    tenant,
-		class:     class,
-		submit:    m.eng.Now(),
-		isolated:  iso,
-		remaining: iso.Seconds(),
-		done:      done,
+	ex := m.acquireExec()
+	ex.id = m.nextExecID
+	ex.ref = ref
+	ex.class = class
+	ex.submit = now
+	ex.isolated = iso
+	ex.remaining = iso.Seconds()
+	ex.tag = tag
+	ex.tagged = tagged
+	ex.done = done
+	// One fused pass over the in-flight set does the work of advance(), the
+	// max-concurrency update, and reschedule()'s min-selection — same
+	// arithmetic and same unique (remaining, id) minimum, one O(n) scan
+	// instead of three. The submit path dominates the service hot loop, and
+	// these scans dominate the submit path.
+	// dec is elapsed*(speed/k), associated exactly as advance() computes it
+	// so the fused path is bit-identical to the unfused one.
+	dec := 0.0
+	if now > m.lastTouch && len(m.execs) > 0 {
+		dec = (now - m.lastTouch).Seconds() * (m.speed() / float64(len(m.execs)))
 	}
-	m.execs[ex.id] = ex
-	m.byTenant[tenant]++
+	m.lastTouch = now
+	conc := len(m.execs) + 1
+	ex.maxConc = conc
+	next := ex
+	for _, other := range m.execs {
+		if dec > 0 {
+			other.remaining -= dec
+			if other.remaining < 0 {
+				other.remaining = 0
+			}
+		}
+		if conc > other.maxConc {
+			other.maxConc = conc
+		}
+		if other.remaining < next.remaining ||
+			(other.remaining == next.remaining && other.id < next.id) {
+			next = other
+		}
+	}
+	ex.idx = len(m.execs)
+	m.execs = append(m.execs, ex)
+	m.running[ref]++
 	if m.tel != nil {
 		m.mService.Observe(iso.Seconds())
 		m.mRunning.Set(float64(len(m.execs)))
 	}
-	conc := len(m.execs)
-	for _, other := range m.execs {
-		if conc > other.maxConc {
-			other.maxConc = conc
-		}
+	if m.completion != nil {
+		m.eng.CancelOwned(m.completion)
+		m.completion = nil
 	}
-	m.reschedule()
+	eta := next.remaining * float64(len(m.execs)) / m.speed()
+	m.nextDone = next
+	m.completion = m.eng.ScheduleOwned(now+sim.Time(eta*float64(sim.Second)), m.completeCb)
 	return iso, nil
+}
+
+// acquireExec pops a recycled exec or allocates one.
+func (m *Instance) acquireExec() *exec {
+	n := len(m.freeExecs)
+	if n == 0 {
+		return &exec{}
+	}
+	ex := m.freeExecs[n-1]
+	m.freeExecs[n-1] = nil
+	m.freeExecs = m.freeExecs[:n-1]
+	return ex
+}
+
+// releaseExec returns a finished exec to the freelist.
+func (m *Instance) releaseExec(ex *exec) {
+	ex.class = nil
+	ex.done = nil
+	m.freeExecs = append(m.freeExecs, ex)
 }
 
 // advance applies elapsed virtual time to all in-flight queries under
@@ -352,18 +531,21 @@ func (m *Instance) advance() {
 	}
 }
 
-// reschedule (re)computes the next completion event.
+// reschedule (re)computes the next completion event. The min-(remaining, id)
+// selection is iteration-order independent, so the swap-remove slice cannot
+// perturb a deterministic run.
 func (m *Instance) reschedule() {
 	if m.completion != nil {
-		m.eng.Cancel(m.completion)
+		m.eng.CancelOwned(m.completion)
 		m.completion = nil
 	}
 	if len(m.execs) == 0 {
+		m.nextDone = nil
 		return
 	}
-	var next *exec
-	for _, ex := range m.execs {
-		if next == nil || ex.remaining < next.remaining ||
+	next := m.execs[0]
+	for _, ex := range m.execs[1:] {
+		if ex.remaining < next.remaining ||
 			(ex.remaining == next.remaining && ex.id < next.id) {
 			next = ex
 		}
@@ -371,39 +553,86 @@ func (m *Instance) reschedule() {
 	k := float64(len(m.execs))
 	eta := next.remaining * k / m.speed()
 	at := m.eng.Now() + sim.Time(eta*float64(sim.Second))
-	id := next.id
-	m.completion = m.eng.Schedule(at, func(now sim.Time) { m.complete(id) })
+	m.nextDone = next
+	m.completion = m.eng.ScheduleOwned(at, m.completeCb)
 }
 
-// complete finishes the identified query and reschedules.
-func (m *Instance) complete(id int64) {
-	m.advance()
-	ex, ok := m.execs[id]
-	if !ok {
+// complete finishes the targeted query and reschedules.
+func (m *Instance) complete(ex *exec) {
+	if ex == nil || ex.idx < 0 || ex.idx >= len(m.execs) || m.execs[ex.idx] != ex {
+		m.advance()
 		m.reschedule()
 		return
 	}
+	// Fused advance + next-completion selection, mirroring submit: one scan
+	// decrements every in-flight query and picks the (remaining, id) minimum
+	// among the survivors.
+	now := m.eng.Now()
+	dec := 0.0
+	if now > m.lastTouch {
+		dec = (now - m.lastTouch).Seconds() * (m.speed() / float64(len(m.execs)))
+	}
+	m.lastTouch = now
+	var next *exec
+	for _, other := range m.execs {
+		if dec > 0 {
+			other.remaining -= dec
+			if other.remaining < 0 {
+				other.remaining = 0
+			}
+		}
+		if other == ex {
+			continue
+		}
+		if next == nil || other.remaining < next.remaining ||
+			(other.remaining == next.remaining && other.id < next.id) {
+			next = other
+		}
+	}
 	// Guard against float drift: the scheduled completion is authoritative.
 	ex.remaining = 0
-	delete(m.execs, id)
-	m.byTenant[ex.tenant]--
-	if m.byTenant[ex.tenant] == 0 {
-		delete(m.byTenant, ex.tenant)
-	}
+	i := ex.idx
+	last := len(m.execs) - 1
+	m.execs[i] = m.execs[last]
+	m.execs[i].idx = i
+	m.execs[last] = nil
+	m.execs = m.execs[:last]
+	ex.idx = -1
+	m.running[ex.ref]--
 	if m.tel != nil {
-		m.mSojourn.Observe((m.eng.Now() - ex.submit).Seconds())
+		m.mSojourn.Observe((now - ex.submit).Seconds())
 		m.mRunning.Set(float64(len(m.execs)))
 		m.mCompleted.Inc()
 	}
-	m.reschedule()
+	if m.completion != nil {
+		m.eng.CancelOwned(m.completion)
+		m.completion = nil
+	}
+	if next == nil {
+		m.nextDone = nil
+	} else {
+		eta := next.remaining * float64(len(m.execs)) / m.speed()
+		m.nextDone = next
+		m.completion = m.eng.ScheduleOwned(now+sim.Time(eta*float64(sim.Second)), m.completeCb)
+	}
 	if ex.done != nil {
 		ex.done(Result{
-			Tenant:         ex.tenant,
+			Tenant:         m.in.ID(ex.ref),
 			Class:          ex.class,
 			Submit:         ex.submit,
 			Finish:         m.eng.Now(),
 			Isolated:       ex.isolated,
 			MaxConcurrency: ex.maxConc,
 		})
+	} else if ex.tagged && m.onDone != nil {
+		m.onDone(Result{
+			Tenant:         m.in.ID(ex.ref),
+			Class:          ex.class,
+			Submit:         ex.submit,
+			Finish:         m.eng.Now(),
+			Isolated:       ex.isolated,
+			MaxConcurrency: ex.maxConc,
+		}, ex.tag)
 	}
+	m.releaseExec(ex)
 }

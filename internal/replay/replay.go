@@ -19,6 +19,7 @@ import (
 	"repro/internal/scaling"
 	"repro/internal/sim"
 	"repro/internal/telemetry"
+	"repro/internal/tenant"
 	"repro/internal/workload"
 )
 
@@ -527,7 +528,15 @@ func replayGroup(dep *master.Deployment, g *master.DeployedGroup, cat *queries.C
 				g.Plan.ID, eng.Now(), opts.From)
 			return
 		}
+		// All logged submissions go through one ScheduleBatch: the engine
+		// builds its heap once (heap.Init) instead of sifting per event, the
+		// tenant's interned ref resolves once per log instead of once per
+		// query, and submissions fire through the router's ref path. Batch
+		// order matches the old per-event Schedule order, so event sequence
+		// numbers — and therefore the replay — are unchanged.
+		var batch []sim.TimedFunc
 		for _, tl := range logs {
+			ref := g.Router.Ref(tl.Tenant.ID)
 			for _, ev := range tl.Materialize(opts.From, opts.To) {
 				ev := ev
 				class, ok := cat.ByID(ev.ClassID)
@@ -535,14 +544,24 @@ func replayGroup(dep *master.Deployment, g *master.DeployedGroup, cat *queries.C
 					res.err = fmt.Errorf("replay: unknown query class %s", ev.ClassID)
 					return
 				}
-				eng.Schedule(ev.At, func(sim.Time) {
+				fn := func(sim.Time) {
 					res.submitted++
 					if _, err := g.Router.SubmitWithTarget(ev.Tenant, class, ev.SLATarget); err != nil {
 						res.submitErrors++
 					}
-				})
+				}
+				if ref != tenant.NoRef {
+					fn = func(sim.Time) {
+						res.submitted++
+						if _, err := g.Router.SubmitRef(ref, class, ev.SLATarget); err != nil {
+							res.submitErrors++
+						}
+					}
+				}
+				batch = append(batch, sim.TimedFunc{At: ev.At, Fn: fn})
 			}
 		}
+		eng.ScheduleBatch(batch)
 
 		// Take-over injection (§7.5), closed loop as in Run.
 		if takeOver {

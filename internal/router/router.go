@@ -3,6 +3,15 @@
 // according to the TDD routing policy (Algorithm 1), reports query
 // completions to the Tenant Activity Monitor, and supports re-pointing
 // over-active tenants to dedicated MPPDBs after elastic scaling.
+//
+// The router has two internally equivalent submit paths. When every group
+// MPPDB shares one tenant.Interner (how the Deployment Master wires groups),
+// the ref path runs: tenants are dense indices, routing state lives in flat
+// slices, completions report through one pooled tag table, and a steady-state
+// submit allocates nothing. When instances carry private interners (legacy
+// unit-test wiring), the router falls back to the original string-keyed path.
+// Both paths perform the identical operation sequence, so a same-seed run is
+// byte-identical either way.
 package router
 
 import (
@@ -17,6 +26,25 @@ import (
 	"repro/internal/tenant"
 )
 
+// override pairs a dedicated MPPDB with the tenant's ref in *that* MPPDB's
+// interner (an elastically-added instance may not share the group interner).
+type override struct {
+	db  *mppdb.Instance
+	ref tenant.Ref
+}
+
+// pending is one in-flight query's completion context, pooled and addressed
+// by the tag issued at submit time.
+type pending struct {
+	tenantID  string
+	class     *queries.Class
+	submit    sim.Time
+	slaTarget sim.Time
+	dbID      string
+	root      *telemetry.Span
+	exec      *telemetry.Span
+}
+
 // GroupRouter routes queries for one tenant-group.
 type GroupRouter struct {
 	eng   *sim.Engine
@@ -28,6 +56,18 @@ type GroupRouter struct {
 	// overrides maps an over-active tenant to the dedicated MPPDB that now
 	// serves it exclusively.
 	overrides map[string]*mppdb.Instance
+
+	// Interned fast path (refMode): the group interner shared with every
+	// instance, members and overrides indexed by ref, the pooled completion
+	// table, and routing scratch space reused across submits.
+	in            *tenant.Interner
+	refMode       bool
+	byRef         []*tenant.Tenant
+	overByRef     []override
+	pending       []pending
+	freeTags      []uint64
+	scratchStates []tdd.MPPDBStateRef
+	scratchReady  []*mppdb.Instance
 
 	// onResult, when set, observes every completed query.
 	onResult func(monitor.QueryRecord)
@@ -59,6 +99,16 @@ func NewGroup(eng *sim.Engine, group string, dbs []*mppdb.Instance,
 		mon:       mon,
 		tenants:   make(map[string]*tenant.Tenant, len(members)),
 		overrides: make(map[string]*mppdb.Instance),
+		in:        dbs[0].Interner(),
+		refMode:   true,
+	}
+	for _, db := range dbs {
+		if db.Interner() != r.in {
+			// Privately-interned instances: refs are not comparable across
+			// the group, so stay on the string path.
+			r.refMode = false
+			break
+		}
 	}
 	for _, m := range members {
 		r.tenants[m.ID] = m
@@ -67,8 +117,25 @@ func NewGroup(eng *sim.Engine, group string, dbs []*mppdb.Instance,
 				return nil, fmt.Errorf("router: tenant %s not deployed on %s", m.ID, db.ID())
 			}
 		}
+		if r.refMode {
+			r.indexMember(r.in.Intern(m.ID), m)
+		}
+	}
+	if r.refMode {
+		for _, db := range dbs {
+			db.SetCompletionHandler(r.completed)
+		}
 	}
 	return r, nil
+}
+
+// indexMember records a member tenant under its group ref.
+func (r *GroupRouter) indexMember(ref tenant.Ref, tn *tenant.Tenant) {
+	for int(ref) >= len(r.byRef) {
+		r.byRef = append(r.byRef, nil)
+		r.overByRef = append(r.overByRef, override{})
+	}
+	r.byRef[ref] = tn
 }
 
 // Group returns the group's identifier.
@@ -80,10 +147,31 @@ func (r *GroupRouter) Instances() []*mppdb.Instance { return r.dbs }
 // Members returns the number of member tenants.
 func (r *GroupRouter) Members() int { return len(r.tenants) }
 
+// Interner returns the group interner in ref mode, nil otherwise.
+func (r *GroupRouter) Interner() *tenant.Interner {
+	if !r.refMode {
+		return nil
+	}
+	return r.in
+}
+
 // HasTenant reports whether the tenant belongs to this group.
 func (r *GroupRouter) HasTenant(id string) bool {
 	_, ok := r.tenants[id]
 	return ok
+}
+
+// Ref resolves a member tenant to its group ref (NoRef when the router is
+// not in ref mode or the tenant is not a member).
+func (r *GroupRouter) Ref(id string) tenant.Ref {
+	if !r.refMode {
+		return tenant.NoRef
+	}
+	ref, ok := r.in.Lookup(id)
+	if !ok || int(ref) >= len(r.byRef) || r.byRef[ref] == nil {
+		return tenant.NoRef
+	}
+	return ref
 }
 
 // OnResult registers an observer for completed queries.
@@ -104,17 +192,26 @@ func (r *GroupRouter) AddTenant(tn *tenant.Tenant) error {
 		}
 	}
 	r.tenants[tn.ID] = tn
+	if r.refMode {
+		r.indexMember(r.in.Intern(tn.ID), tn)
+	}
 	return nil
 }
 
 // RemoveTenant withdraws a tenant from the group at run time (departure or
 // migration away): subsequent submits for it fail, while queries already
-// executing complete normally — their completion callbacks hold direct
-// instance references and never consult the tenant map. In-domain only,
+// executing complete normally — their completion contexts hold direct
+// instance references and never consult the tenant index. In-domain only,
 // like AddTenant.
 func (r *GroupRouter) RemoveTenant(id string) {
 	delete(r.tenants, id)
 	delete(r.overrides, id)
+	if r.refMode {
+		if ref, ok := r.in.Lookup(id); ok && int(ref) < len(r.byRef) {
+			r.byRef[ref] = nil
+			r.overByRef[ref] = override{}
+		}
+	}
 }
 
 // SetTelemetry attaches a telemetry hub. A nil hub disables instrumentation.
@@ -142,6 +239,15 @@ func (r *GroupRouter) SetOverride(tenantID string, db *mppdb.Instance) error {
 		return fmt.Errorf("router: override MPPDB %s lacks tenant %s", db.ID(), tenantID)
 	}
 	r.overrides[tenantID] = db
+	if r.refMode {
+		if ref, ok := r.in.Lookup(tenantID); ok && int(ref) < len(r.overByRef) {
+			// The override's interner may be private to that instance;
+			// record the tenant's ref in *its* namespace.
+			dbRef, _ := db.Interner().Lookup(tenantID)
+			r.overByRef[ref] = override{db: db, ref: dbRef}
+			db.SetCompletionHandler(r.completed)
+		}
+	}
 	if r.mon != nil {
 		r.mon.Exclude(tenantID)
 	}
@@ -188,14 +294,139 @@ func (r *GroupRouter) Submit(tenantID string, class *queries.Class) (string, err
 // the tenant's self-contention; that slack is the tenant's own business,
 // §4.4). A non-positive target falls back to the isolated latency.
 func (r *GroupRouter) SubmitWithTarget(tenantID string, class *queries.Class, slaTarget sim.Time) (string, error) {
-	tn, ok := r.tenants[tenantID]
-	if !ok {
-		return "", fmt.Errorf("router: unknown tenant %s in group %s", tenantID, r.group)
+	if r.refMode {
+		ref, ok := r.in.Lookup(tenantID)
+		if !ok || int(ref) >= len(r.byRef) || r.byRef[ref] == nil {
+			return "", fmt.Errorf("router: unknown tenant %s in group %s", tenantID, r.group)
+		}
+		return r.SubmitRef(ref, class, slaTarget)
+	}
+	return r.submitString(tenantID, class, slaTarget)
+}
+
+// acquireTag hands out a pooled completion slot.
+func (r *GroupRouter) acquireTag() uint64 {
+	if n := len(r.freeTags); n > 0 {
+		tag := r.freeTags[n-1]
+		r.freeTags = r.freeTags[:n-1]
+		return tag
+	}
+	r.pending = append(r.pending, pending{})
+	return uint64(len(r.pending) - 1)
+}
+
+// completed is the pooled completion handler shared by every group instance:
+// it rebuilds the query record from the tag's pending slot and performs the
+// exact observer sequence of the closure path.
+func (r *GroupRouter) completed(res mppdb.Result, tag uint64) {
+	p := &r.pending[tag]
+	rec := monitor.QueryRecord{
+		Tenant:    p.tenantID,
+		Class:     p.class,
+		Submit:    p.submit,
+		Finish:    res.Finish,
+		SLATarget: p.slaTarget,
+		MPPDB:     p.dbID,
+	}
+	if r.tel != nil {
+		p.exec.End()
+		p.root.End()
+		r.mInflight.Add(-1)
+	}
+	p.root, p.exec, p.class = nil, nil, nil
+	p.tenantID, p.dbID = "", ""
+	r.freeTags = append(r.freeTags, tag)
+	if r.mon != nil {
+		r.mon.QueryFinished(rec)
+	}
+	if r.onResult != nil {
+		r.onResult(rec)
+	}
+}
+
+// SubmitRef is the interned hot path: one slice index resolves the tenant,
+// Algorithm 1 runs over ref-indexed instance state, and the completion
+// context goes into the pooled tag table — no allocation on the steady
+// state. Only valid in ref mode (callers obtain refs via Ref or the group
+// interner).
+func (r *GroupRouter) SubmitRef(ref tenant.Ref, class *queries.Class, slaTarget sim.Time) (string, error) {
+	var tn *tenant.Tenant
+	if ref >= 0 && int(ref) < len(r.byRef) {
+		tn = r.byRef[ref]
+	}
+	if tn == nil {
+		return "", fmt.Errorf("router: unknown tenant %s in group %s", r.in.ID(ref), r.group)
 	}
 	// One trace per query: a root span spanning submit → complete, with a
 	// route child (the Algorithm 1 decision) and an execute child (time on
 	// the chosen MPPDB). Under processor sharing there is no queueing
 	// phase: a query starts executing the instant it is routed.
+	var root, route, exec *telemetry.Span
+	if r.tel != nil {
+		root = r.tel.Tracer.StartSpan("query",
+			"group", r.group, "tenant", tn.ID, "class", class.ID)
+		route = r.tel.Tracer.StartChild(root.Context(), "route")
+	}
+	target, targetRef, err := r.pickRef(ref)
+	if err != nil {
+		if root != nil {
+			route.Annotate("error", err.Error())
+			route.End()
+			root.End()
+		}
+		return "", err
+	}
+	if slaTarget <= 0 {
+		slaTarget = sim.Duration(class.Latency(tn.DataGB, tn.Nodes))
+	}
+	submit := r.eng.Now()
+	dbID := target.ID()
+	if root != nil {
+		route.Annotate("mppdb", dbID)
+		route.End()
+		exec = r.tel.Tracer.StartChild(root.Context(), "execute", "mppdb", dbID)
+	}
+	tag := r.acquireTag()
+	p := &r.pending[tag]
+	p.tenantID = tn.ID
+	p.class = class
+	p.submit = submit
+	p.slaTarget = slaTarget
+	p.dbID = dbID
+	p.root = root
+	p.exec = exec
+	_, err = target.SubmitTagged(targetRef, class, tag)
+	if err != nil {
+		p.root, p.exec, p.class = nil, nil, nil
+		p.tenantID, p.dbID = "", ""
+		r.freeTags = append(r.freeTags, tag)
+		if exec != nil {
+			exec.Annotate("error", err.Error())
+			exec.End()
+			root.End()
+		}
+		return "", err
+	}
+	// The completion callback fires via a later engine event, never
+	// synchronously inside Submit, so the start is recorded first.
+	if r.mon != nil {
+		r.mon.QueryStarted(tn.ID)
+	}
+	r.routed++
+	if r.tel != nil {
+		r.mRouted.Inc()
+		r.mInflight.Add(1)
+	}
+	return dbID, nil
+}
+
+// submitString is the original string-keyed submit, kept for routers whose
+// instances do not share an interner.
+func (r *GroupRouter) submitString(tenantID string, class *queries.Class, slaTarget sim.Time) (string, error) {
+	tn, ok := r.tenants[tenantID]
+	if !ok {
+		return "", fmt.Errorf("router: unknown tenant %s in group %s", tenantID, r.group)
+	}
 	var root, route, exec *telemetry.Span
 	if r.tel != nil {
 		root = r.tel.Tracer.StartSpan("query",
@@ -253,8 +484,6 @@ func (r *GroupRouter) SubmitWithTarget(tenantID string, class *queries.Class, sl
 		}
 		return "", err
 	}
-	// The completion callback fires via a later engine event, never
-	// synchronously inside Submit, so the start is recorded first.
 	if r.mon != nil {
 		r.mon.QueryStarted(tenantID)
 	}
@@ -264,6 +493,46 @@ func (r *GroupRouter) SubmitWithTarget(tenantID string, class *queries.Class, sl
 		r.mInflight.Add(1)
 	}
 	return dbID, nil
+}
+
+// pickRef chooses the target instance on the ref path: a dedicated override
+// if present, otherwise Algorithm 1 over the group's ready MPPDBs. It also
+// returns the tenant's ref in the *target's* interner namespace.
+func (r *GroupRouter) pickRef(ref tenant.Ref) (*mppdb.Instance, tenant.Ref, error) {
+	if int(ref) < len(r.overByRef) {
+		if o := r.overByRef[ref]; o.db != nil {
+			return o.db, o.ref, nil
+		}
+	}
+	// Only Ready instances participate; a replacement MPPDB still loading
+	// must not receive queries. The scratch slices are reused across
+	// submits — the router is single-threaded under its clock domain.
+	states := r.scratchStates[:0]
+	ready := r.scratchReady[:0]
+	for _, db := range r.dbs {
+		if db.State() == mppdb.Ready {
+			states = append(states, db)
+			ready = append(ready, db)
+		}
+	}
+	r.scratchStates, r.scratchReady = states, ready
+	if len(ready) == 0 {
+		return nil, tenant.NoRef, fmt.Errorf("router: group %s has no ready MPPDB", r.group)
+	}
+	idx, err := tdd.RouteRef(ref, states)
+	if err != nil {
+		return nil, tenant.NoRef, err
+	}
+	// Detect the overflow path: the chosen MPPDB is busy with other
+	// tenants' queries (concurrent processing on G₀).
+	chosen := ready[idx]
+	if chosen.Busy() && chosen.RefRunning(ref) == 0 {
+		r.overflow++
+		if r.tel != nil {
+			r.mOverflow.Inc()
+		}
+	}
+	return chosen, ref, nil
 }
 
 // pick chooses the target instance: a dedicated override if present,
@@ -289,8 +558,6 @@ func (r *GroupRouter) pick(tenantID string) (*mppdb.Instance, error) {
 	if err != nil {
 		return nil, err
 	}
-	// Detect the overflow path: the chosen MPPDB is busy with other
-	// tenants' queries (concurrent processing on G₀).
 	chosen := ready[idx]
 	if chosen.Busy() && chosen.TenantRunning(tenantID) == 0 {
 		r.overflow++

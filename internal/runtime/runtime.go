@@ -31,6 +31,14 @@ import (
 	"repro/internal/tenant"
 )
 
+// TenantRef is a dense, group-local tenant handle (see package tenant):
+// resolved once at the front door, it replaces per-submit string-map lookups
+// in the router, instances, and admission controller.
+type TenantRef = tenant.Ref
+
+// NoTenantRef marks an unresolved handle.
+const NoTenantRef = tenant.NoRef
+
 // GroupRuntime is one tenant-group brought up on the cluster. The exported
 // fields are the group's subsystems; they are safe to touch directly only
 // from the engine's single driver (the experiment/replay path) or from
@@ -53,6 +61,12 @@ type GroupRuntime struct {
 	Admission *admission.Controller
 
 	dom *sim.Domain
+
+	// memberIdx indexes Members by tenant ID for O(1) membership checks on
+	// the migration paths. It is built lazily (deploy populates Members via
+	// a struct literal) and maintained by AddMember/RemoveMember. In-domain
+	// only, like the methods that use it.
+	memberIdx map[string]int
 
 	// sheddingOnly is set by the brownout controller at its top level:
 	// stats readers then serve the cached snapshot instead of advancing or
@@ -107,24 +121,53 @@ func (g *GroupRuntime) SubmitAt(at sim.Time, tenantID string, class *queries.Cla
 	return db, err
 }
 
+// rebuildMemberIdx (re)derives the membership index from Members.
+func (g *GroupRuntime) rebuildMemberIdx() {
+	g.memberIdx = make(map[string]int, len(g.Members))
+	for i, m := range g.Members {
+		g.memberIdx[m.ID] = i
+	}
+}
+
+// HasMember reports whether the tenant is in the group's member list — O(1)
+// against the membership index. In-domain only.
+func (g *GroupRuntime) HasMember(id string) bool {
+	if g.memberIdx == nil {
+		g.rebuildMemberIdx()
+	}
+	_, ok := g.memberIdx[id]
+	return ok
+}
+
 // AddMember appends a tenant to the group's member list. In-domain only —
 // the migration cutover calls it from an engine callback.
 func (g *GroupRuntime) AddMember(tn *tenant.Tenant) {
-	for _, m := range g.Members {
-		if m.ID == tn.ID {
-			return
-		}
+	if g.memberIdx == nil {
+		g.rebuildMemberIdx()
 	}
+	if _, ok := g.memberIdx[tn.ID]; ok {
+		return
+	}
+	g.memberIdx[tn.ID] = len(g.Members)
 	g.Members = append(g.Members, tn)
 }
 
-// RemoveMember drops a tenant from the group's member list. In-domain only.
+// RemoveMember drops a tenant from the group's member list, preserving
+// member order. In-domain only.
 func (g *GroupRuntime) RemoveMember(id string) {
-	for i, m := range g.Members {
-		if m.ID == id {
-			g.Members = append(g.Members[:i:i], g.Members[i+1:]...)
-			return
-		}
+	if g.memberIdx == nil {
+		g.rebuildMemberIdx()
+	}
+	i, ok := g.memberIdx[id]
+	if !ok {
+		return
+	}
+	delete(g.memberIdx, id)
+	// The three-index slice forces a fresh backing array so snapshots of
+	// Members held elsewhere are not clobbered (as before the index).
+	g.Members = append(g.Members[:i:i], g.Members[i+1:]...)
+	for j := i; j < len(g.Members); j++ {
+		g.memberIdx[g.Members[j].ID] = j
 	}
 }
 
@@ -189,8 +232,77 @@ func (g *GroupRuntime) SubmitWithRetry(at sim.Time, tenantID string, class *quer
 // delay alone would blow the query's SLA deadline, the query is shed with a
 // typed *admission.ShedError instead of occupying the group. bestEffort
 // marks traffic the brownout controller may drop wholesale at its top level.
+//
+// SubmitGoverned is a one-item batch: there is a single retry/admission
+// implementation, SubmitBatchAt, and this is its scalar shim.
 func (g *GroupRuntime) SubmitGoverned(at sim.Time, tenantID string, class *queries.Class,
 	sla sim.Time, pol RetryPolicy, bestEffort bool) (string, int, error) {
+	items := [1]BatchItem{{Tenant: tenantID, Class: class, SLA: sla, BestEffort: bestEffort}}
+	var outs [1]BatchOutcome
+	g.SubmitBatchAt(at, items[:], outs[:], pol)
+	return outs[0].DB, outs[0].Retries, outs[0].Err
+}
+
+// BatchItem is one query of a batched submit.
+type BatchItem struct {
+	// Tenant is the tenant's string ID (used for resolution when HasRef is
+	// unset, and for error reporting).
+	Tenant string
+	// Ref carries the tenant's group-local ref pre-resolved at the front
+	// door (Plane.ForTenantRef); only consulted when HasRef is true, so the
+	// zero value stays safe (ref 0 is a valid tenant).
+	Ref    tenant.Ref
+	HasRef bool
+	Class  *queries.Class
+	// SLA is the per-query latency target; non-positive falls back to the
+	// tenant's isolated latency.
+	SLA sim.Time
+	// BestEffort marks traffic the brownout controller may shed wholesale.
+	BestEffort bool
+}
+
+// BatchOutcome is one item's result: the chosen MPPDB and retries used on
+// success, or the typed error (*admission.ContractExceededError,
+// *admission.ShedError, *TimeoutError, or a permanent routing error).
+// Outcomes are strictly per item — one item's failure never affects its
+// batch-mates.
+type BatchOutcome struct {
+	DB      string
+	Retries int
+	Err     error
+}
+
+// SubmitBatchAt advances the group to at once and routes all items inside a
+// single engine callback — one domain lock and one Advance per batch (plus
+// one per backoff round while any item retries), instead of one per query.
+// Results land in outs (which must be at least as long as items); item i's
+// outcome is outs[i].
+//
+// Per-item semantics are identical to SubmitGoverned: admission is consulted
+// once per item, transient routing failures claim an admission-queue slot
+// and retry on the policy's backoff, and exhaustion yields a *TimeoutError.
+// Items are processed in slice order, so a batch at time t is
+// operation-for-operation equivalent to submitting its items sequentially at
+// t — same-seed telemetry is byte-identical (the determinism guard pins
+// this). Retry rounds run round-major: every live item attempts once per
+// round before the clock moves again.
+// batchScratch is the reusable round-tracking state of one SubmitBatchAt
+// call, pooled so steady-state batched submits allocate nothing here.
+type batchScratch struct {
+	live   []int
+	queued []bool
+}
+
+var batchScratchPool = sync.Pool{New: func() any { return new(batchScratch) }}
+
+func (g *GroupRuntime) SubmitBatchAt(at sim.Time, items []BatchItem, outs []BatchOutcome, pol RetryPolicy) {
+	n := len(items)
+	if n == 0 {
+		return
+	}
+	if len(outs) < n {
+		panic("runtime: SubmitBatchAt outs shorter than items")
+	}
 	if pol.Backoff <= 0 {
 		pol.Backoff = 15 * time.Second
 	}
@@ -199,70 +311,100 @@ func (g *GroupRuntime) SubmitGoverned(at sim.Time, tenantID string, class *queri
 		deadline = at + sim.Duration(pol.Timeout)
 	}
 	adm := g.Admission
-	queued := false
-	leave := func() {
-		// In-domain only.
-		if queued {
-			adm.LeaveQueue()
-			queued = false
-		}
+	for i := range outs[:n] {
+		outs[i] = BatchOutcome{}
 	}
-	t := at
-	for retries := 0; ; retries++ {
+
+	// live holds the indices of items still in flight across rounds; queued
+	// marks items holding an admission-queue slot. Both come from a pool so
+	// a steady stream of batches allocates nothing here.
+	sc := batchScratchPool.Get().(*batchScratch)
+	live := sc.live[:0]
+	defer func() {
+		sc.live = live[:0]
+		batchScratchPool.Put(sc)
+	}()
+	if cap(sc.queued) < n {
+		sc.queued = make([]bool, n)
+	}
+	queued := sc.queued[:n]
+	clear(queued)
+
+	// attempt runs one routing attempt for item i at round `retries` and
+	// reports whether the item stays live. In-domain only.
+	attempt := func(i, retries int, t sim.Time) bool {
+		it := &items[i]
+		ref := tenant.NoRef
+		if it.HasRef {
+			ref = it.Ref
+		} else if r := g.Router; r != nil {
+			ref = r.Ref(it.Tenant)
+		}
+		if adm != nil && retries == 0 {
+			var admErr error
+			if ref != tenant.NoRef {
+				admErr = adm.AdmitRef(ref, it.SLA, it.BestEffort)
+			} else {
+				admErr = adm.Admit(it.Tenant, it.SLA, it.BestEffort)
+			}
+			if admErr != nil {
+				outs[i].Err = admErr
+				return false
+			}
+		}
 		var db string
-		var err, admErr error
-		var known bool
-		g.dom.Advance(t, func(*sim.Engine) {
-			if adm != nil && retries == 0 {
-				if admErr = adm.Admit(tenantID, sla, bestEffort); admErr != nil {
-					return
-				}
-			}
-			db, err = g.Router.SubmitWithTarget(tenantID, class, sla)
-			known = g.Router.HasTenant(tenantID)
-			if err == nil || !known {
-				leave()
-			}
-		})
-		if admErr != nil {
-			return "", retries, admErr
+		var err error
+		if ref != tenant.NoRef {
+			db, err = g.Router.SubmitRef(ref, it.Class, it.SLA)
+		} else {
+			db, err = g.Router.SubmitWithTarget(it.Tenant, it.Class, it.SLA)
 		}
 		if err == nil {
+			if queued[i] {
+				adm.LeaveQueue()
+				queued[i] = false
+			}
+			outs[i].DB = db
+			outs[i].Retries = retries
 			if g.hRetries != nil {
 				g.hRetries.Observe(float64(retries))
 			}
-			return db, retries, nil
+			return false
 		}
-		if !known {
+		if !g.Router.HasTenant(it.Tenant) {
 			// Permanent: this group will never accept the tenant.
-			return "", retries, err
+			if queued[i] {
+				adm.LeaveQueue()
+				queued[i] = false
+			}
+			outs[i].Retries = retries
+			outs[i].Err = err
+			return false
 		}
 		if next := t + sim.Duration(pol.Backoff); retries < pol.MaxRetries && next <= deadline {
-			if adm != nil && !queued {
-				var shedErr error
-				g.dom.Do(func(*sim.Engine) {
-					shedErr = adm.EnterQueue(tenantID, sla, next-at)
-					queued = shedErr == nil
-				})
-				if shedErr != nil {
-					return "", retries, shedErr
+			if adm != nil && !queued[i] {
+				if shedErr := adm.EnterQueue(it.Tenant, it.SLA, next-at); shedErr != nil {
+					outs[i].Retries = retries
+					outs[i].Err = shedErr
+					return false
 				}
+				queued[i] = true
 			}
 			if g.tel != nil {
 				g.mRetried.Inc()
 				g.tel.Events.Publish(telemetry.Event{
 					Type:   telemetry.EventQueryRetried,
 					Group:  g.Plan.ID,
-					Tenant: tenantID,
+					Tenant: it.Tenant,
 					Value:  float64(retries + 1),
 					Detail: err.Error(),
 				})
 			}
-			t = next
-			continue
+			return true
 		}
-		if queued {
-			g.dom.Do(func(*sim.Engine) { leave() })
+		if queued[i] {
+			adm.LeaveQueue()
+			queued[i] = false
 		}
 		if g.tel != nil {
 			g.mTimeout.Inc()
@@ -270,18 +412,47 @@ func (g *GroupRuntime) SubmitGoverned(at sim.Time, tenantID string, class *queri
 			g.tel.Events.Publish(telemetry.Event{
 				Type:   telemetry.EventQueryTimeout,
 				Group:  g.Plan.ID,
-				Tenant: tenantID,
+				Tenant: it.Tenant,
 				Value:  float64(retries),
 				Detail: err.Error(),
 			})
 		}
-		return "", retries, &TimeoutError{
+		outs[i].Retries = retries
+		outs[i].Err = &TimeoutError{
 			Group:    g.Plan.ID,
-			Tenant:   tenantID,
+			Tenant:   it.Tenant,
 			Timeout:  pol.Timeout,
 			Attempts: retries + 1,
 			Last:     err,
 		}
+		return false
+	}
+
+	t := at
+	for retries := 0; ; retries++ {
+		r := retries
+		now := t
+		g.dom.Advance(now, func(*sim.Engine) {
+			if r == 0 {
+				for i := 0; i < n; i++ {
+					if attempt(i, 0, now) {
+						live = append(live, i)
+					}
+				}
+				return
+			}
+			keep := live[:0]
+			for _, i := range live {
+				if attempt(i, r, now) {
+					keep = append(keep, i)
+				}
+			}
+			live = keep
+		})
+		if len(live) == 0 {
+			return
+		}
+		t += sim.Duration(pol.Backoff)
 	}
 }
 
@@ -367,6 +538,16 @@ func (g *GroupRuntime) RecordsAt(at sim.Time) []monitor.QueryRecord {
 	return out
 }
 
+// RecordCountAt advances the group to at and returns how many completed
+// query records it holds. The record log is append-only, so an unchanged
+// count means an unchanged log — the service's records cache keys on it to
+// skip re-copying and re-sorting.
+func (g *GroupRuntime) RecordCountAt(at sim.Time) int {
+	var n int
+	g.dom.Advance(at, func(*sim.Engine) { n = g.Monitor.RecordCount() })
+	return n
+}
+
 // Plane is the runtime half of a deployment: the deployed groups, a
 // tenant→group index for O(1) dispatch at the front door, and the deduped
 // set of clock domains driving them.
@@ -380,22 +561,39 @@ func (g *GroupRuntime) RecordsAt(at sim.Time) []monitor.QueryRecord {
 type Plane struct {
 	mu      sync.RWMutex
 	groups  []*GroupRuntime
-	byTen   map[string]*GroupRuntime
+	byTen   map[string]tenantEntry
 	domains sim.Domains
 	byDom   map[*sim.Domain][]*GroupRuntime
 	sharded bool
 	hub     *telemetry.Hub
 }
 
+// tenantEntry is one front-door index entry: the tenant's group plus its
+// interned ref in that group, resolved once at deploy/cutover so the submit
+// hot path never hashes the tenant string below the plane.
+type tenantEntry struct {
+	g   *GroupRuntime
+	ref tenant.Ref
+}
+
 // NewPlane creates an empty plane. sharded records whether groups run on
 // private clock domains (service mode) or share one (experiment mode).
 func NewPlane(hub *telemetry.Hub, sharded bool) *Plane {
 	return &Plane{
-		byTen:   make(map[string]*GroupRuntime),
+		byTen:   make(map[string]tenantEntry),
 		byDom:   make(map[*sim.Domain][]*GroupRuntime),
 		sharded: sharded,
 		hub:     hub,
 	}
+}
+
+// entry builds a tenant's index entry, resolving its ref in g's router.
+func entry(g *GroupRuntime, id string) tenantEntry {
+	e := tenantEntry{g: g, ref: tenant.NoRef}
+	if g.Router != nil {
+		e.ref = g.Router.Ref(id)
+	}
+	return e
 }
 
 // Add registers a bound group: it is indexed by member tenant and its domain
@@ -405,7 +603,7 @@ func (p *Plane) Add(g *GroupRuntime) {
 	defer p.mu.Unlock()
 	p.register(g)
 	for _, tn := range g.Members {
-		p.byTen[tn.ID] = g
+		p.byTen[tn.ID] = entry(g, tn.ID)
 	}
 }
 
@@ -438,7 +636,7 @@ func (p *Plane) Index(tenantIDs []string, g *GroupRuntime) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for _, id := range tenantIDs {
-		p.byTen[id] = g
+		p.byTen[id] = entry(g, id)
 	}
 }
 
@@ -482,8 +680,8 @@ func (p *Plane) Detach(g *GroupRuntime) {
 	} else {
 		p.byDom[g.dom] = gs
 	}
-	for id, og := range p.byTen {
-		if og == g {
+	for id, e := range p.byTen {
+		if e.g == g {
 			delete(p.byTen, id)
 		}
 	}
@@ -514,8 +712,18 @@ func (p *Plane) GroupByID(id string) (*GroupRuntime, bool) {
 func (p *Plane) ForTenant(id string) (*GroupRuntime, bool) {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
-	g, ok := p.byTen[id]
-	return g, ok
+	e, ok := p.byTen[id]
+	return e.g, ok
+}
+
+// ForTenantRef returns the group hosting the tenant together with the
+// tenant's interned ref in that group, resolved once at deploy or cutover.
+// The ref is NoRef when the group's router runs in string mode.
+func (p *Plane) ForTenantRef(id string) (*GroupRuntime, tenant.Ref, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	e, ok := p.byTen[id]
+	return e.g, e.ref, ok
 }
 
 // Tenants returns the number of indexed tenants.

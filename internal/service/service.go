@@ -24,13 +24,11 @@ package service
 
 import (
 	"encoding/json"
-	"errors"
 	"fmt"
 	"math"
 	"net/http"
 	"sort"
 	"strconv"
-	"strings"
 	"sync"
 	"time"
 
@@ -75,6 +73,17 @@ type Server struct {
 	online      *online.Controller
 	reconReport *advisor.ReconsolidationReport
 
+	// coalesce batches concurrent single submits per group (leader/follower);
+	// coalescers are lazily created per group and reset on Install.
+	coalesce   bool
+	maxBatch   int
+	coalMu     sync.Mutex
+	coalescers map[*runtime.GroupRuntime]*coalescer
+
+	// recCache caches the sorted records view served by GET /v1/records,
+	// keyed on the per-group record counts (the record log is append-only).
+	recCache recordsCache
+
 	matcher *sqlmatch.Matcher
 	mux     *http.ServeMux
 }
@@ -107,6 +116,13 @@ type Config struct {
 	// request fails with 504 instead of hanging the group's clock domain
 	// (default 5 min).
 	SubmitTimeout time.Duration
+	// DisableCoalesce turns off server-side coalescing of concurrent single
+	// submits into shard-local batches (on by default). Coalescing is purely
+	// a throughput optimization: per-query semantics are unchanged.
+	DisableCoalesce bool
+	// MaxBatch caps how many coalesced submits one SubmitBatchAt call takes;
+	// excess stays queued for the next drain round (default 64).
+	MaxBatch int
 }
 
 // New builds a server over a live deployment. The deployment may be shared
@@ -133,16 +149,25 @@ func New(dep *master.Deployment, cat *queries.Catalog,
 	if cfg.SubmitTimeout > 0 {
 		retry.Timeout = cfg.SubmitTimeout
 	}
+	if cfg.MaxBatch < 0 {
+		return nil, fmt.Errorf("service: negative max batch")
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 64
+	}
 	s := &Server{
-		dep:       dep,
-		cat:       cat,
-		plan:      plan,
-		timeScale: cfg.TimeScale,
-		retry:     retry,
-		started:   time.Now(),
-		now:       time.Now,
-		matcher:   sqlmatch.New(cat),
-		mux:       http.NewServeMux(),
+		dep:        dep,
+		cat:        cat,
+		plan:       plan,
+		timeScale:  cfg.TimeScale,
+		retry:      retry,
+		started:    time.Now(),
+		now:        time.Now,
+		coalesce:   !cfg.DisableCoalesce,
+		maxBatch:   cfg.MaxBatch,
+		coalescers: make(map[*runtime.GroupRuntime]*coalescer),
+		matcher:    sqlmatch.New(cat),
+		mux:        http.NewServeMux(),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/catalog", s.handleCatalog)
@@ -150,6 +175,7 @@ func New(dep *master.Deployment, cat *queries.Catalog,
 	s.mux.HandleFunc("GET /v1/groups", s.handleGroups)
 	s.mux.HandleFunc("GET /v1/groups/{id}", s.handleGroup)
 	s.mux.HandleFunc("POST /v1/queries", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/submit-batch", s.handleSubmitBatch)
 	s.mux.HandleFunc("GET /v1/records", s.handleRecords)
 	s.mux.HandleFunc("POST /v1/tenants", s.handleRegister)
 	s.mux.HandleFunc("GET /v1/tenants/pending", s.handlePending)
@@ -217,6 +243,12 @@ func (s *Server) Install(dep *master.Deployment, plan *advisor.Plan) error {
 	}
 	s.pending = kept
 	s.pendMu.Unlock()
+	// Drop coalescers bound to the old topology's groups; the write lock
+	// above drained every in-flight leader first. The records cache keys on
+	// the deployment pointer, so it invalidates itself.
+	s.coalMu.Lock()
+	s.coalescers = make(map[*runtime.GroupRuntime]*coalescer)
+	s.coalMu.Unlock()
 	return nil
 }
 
@@ -399,98 +431,100 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad body: %v", err)
 		return
 	}
-	var class *queries.Class
-	template := true
-	switch {
-	case req.Query != "" && req.SQL != "":
-		writeErr(w, http.StatusBadRequest, "set either query or sql, not both")
-		return
-	case req.Query != "":
-		cl, ok := s.cat.ByID(strings.ToUpper(strings.TrimSpace(req.Query)))
-		if !ok {
-			writeErr(w, http.StatusBadRequest, "unknown query class %q", req.Query)
-			return
-		}
-		class = cl
-	case req.SQL != "":
-		res, err := s.matcher.Classify(req.SQL)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		class = res.Class
-		template = res.Template
-	default:
-		writeErr(w, http.StatusBadRequest, "missing query or sql")
+	class, template, err := s.classFor(&req)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	// The hot path: resolve the tenant's group in O(1) and take only that
-	// group's clock domain. Submits to other groups do not contend.
+	// The hot path: resolve the tenant's group — and its interned ref — in
+	// O(1) and take only that group's clock domain. Submits to other groups
+	// do not contend, and concurrent submits to the same group coalesce into
+	// shard-local batches (one domain lock, one Advance per batch).
 	t := s.target()
 	s.topo.RLock()
-	g, ok := s.dep.GroupFor(req.Tenant)
+	g, ref, ok := s.dep.Plane().ForTenantRef(req.Tenant)
 	if !ok {
 		s.topo.RUnlock()
 		writeErr(w, http.StatusUnprocessableEntity, "tenant %s not deployed", req.Tenant)
 		return
 	}
-	db, retries, err := g.SubmitGoverned(t, req.Tenant, class, 0, s.retry, req.BestEffort)
+	item := runtime.BatchItem{
+		Tenant:     req.Tenant,
+		Class:      class,
+		BestEffort: req.BestEffort,
+	}
+	if ref != runtime.NoTenantRef {
+		item.Ref = ref
+		item.HasRef = true
+	}
+	var out runtime.BatchOutcome
+	if s.coalesce {
+		out = s.submitCoalesced(g, item)
+	} else {
+		items := [1]runtime.BatchItem{item}
+		var outs [1]runtime.BatchOutcome
+		g.SubmitBatchAt(t, items[:], outs[:], s.retry)
+		out = outs[0]
+	}
 	now := g.Now()
 	s.topo.RUnlock()
-	if err != nil {
-		var ce *admission.ContractExceededError
-		if errors.As(err, &ce) {
-			w.Header().Set("Retry-After", s.wallRetryAfter(ce.RetryAfter))
-			writeJSON(w, http.StatusTooManyRequests, map[string]any{
-				"error":               ce.Error(),
-				"kind":                "contract_exceeded",
-				"retry_after_virtual": ce.RetryAfter.String(),
-				"brownout":            ce.Brownout,
-			})
-			return
+	if out.Err != nil {
+		status, retryAfter, body := s.submitFailure(out.Err)
+		if retryAfter != "" {
+			w.Header().Set("Retry-After", retryAfter)
 		}
-		var se *admission.ShedError
-		if errors.As(err, &se) {
-			w.Header().Set("Retry-After", s.wallRetryAfter(se.RetryAfter))
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"error":               se.Error(),
-				"kind":                "shed",
-				"reason":              se.Reason,
-				"retry_after_virtual": se.RetryAfter.String(),
-			})
-			return
-		}
-		var te *runtime.TimeoutError
-		if errors.As(err, &te) {
-			w.Header().Set("Retry-After", s.wallRetryAfter(sim.Duration(s.retry.Backoff)))
-			writeJSON(w, http.StatusGatewayTimeout, map[string]any{
-				"error":    te.Error(),
-				"kind":     "timeout",
-				"attempts": te.Attempts,
-			})
-			return
-		}
-		writeErr(w, http.StatusUnprocessableEntity, "%v", err)
+		writeJSON(w, status, body)
 		return
 	}
 	writeJSON(w, http.StatusAccepted, map[string]any{
 		"tenant":       req.Tenant,
 		"query":        class.ID,
 		"template":     template,
-		"routed_to":    db,
-		"retries":      retries,
+		"routed_to":    out.DB,
+		"retries":      out.Retries,
 		"submitted_at": now.String(),
 	})
 }
 
+// handleRecords serves the completed-query log, sorted by submit time.
+// Gathering and sorting every record on every request is O(n log n) in the
+// full history; the logs are append-only, so the sorted view is cached and
+// revalidated with one O(groups) count sweep — a hit costs no copy and no
+// sort. (Sorting compares sim.Time, not the formatted string: string order
+// broke past ten virtual days, e.g. "10d0:00:00.000" < "2d0:00:00.000".)
 func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	tenantFilter := r.URL.Query().Get("tenant")
 	t := s.target()
 	s.topo.RLock()
-	var recs []monitor.QueryRecord
-	for _, g := range s.dep.Groups() {
-		recs = append(recs, g.RecordsAt(t)...)
+	dep := s.dep
+	groups := dep.Groups()
+	counts := make([]int, len(groups))
+	for i, g := range groups {
+		counts[i] = g.RecordCountAt(t)
 	}
+	rc := &s.recCache
+	rc.mu.Lock()
+	stale := rc.dep != dep || len(rc.counts) != len(counts)
+	if !stale {
+		for i := range counts {
+			if rc.counts[i] != counts[i] {
+				stale = true
+				break
+			}
+		}
+	}
+	if stale {
+		// Fresh slice on every rebuild: readers of the previous cached view
+		// may still be marshaling it outside the lock.
+		recs := make([]monitor.QueryRecord, 0, sum(counts))
+		for _, g := range groups {
+			recs = append(recs, g.RecordsAt(t)...)
+		}
+		sort.SliceStable(recs, func(i, j int) bool { return recs[i].Submit < recs[j].Submit })
+		rc.dep, rc.counts, rc.recs = dep, counts, recs
+	}
+	recs := rc.recs
+	rc.mu.Unlock()
 	s.topo.RUnlock()
 	type rec struct {
 		Tenant     string  `json:"tenant"`
@@ -514,8 +548,15 @@ func (s *Server) handleRecords(w http.ResponseWriter, r *http.Request) {
 			Normalized: q.Normalized(), SLAMet: q.SLAMet(),
 		})
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Submit < out[j].Submit })
 	writeJSON(w, http.StatusOK, out)
+}
+
+func sum(xs []int) int {
+	n := 0
+	for _, x := range xs {
+		n += x
+	}
+	return n
 }
 
 func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {

@@ -69,7 +69,13 @@ type Event struct {
 	seq      uint64
 	index    int // heap index; -1 once removed
 	canceled bool
-	fn       func(now Time)
+	// owned events belong to the engine: they are recycled onto the
+	// engine's freelist the moment they fire (or are CancelOwned-ed), so
+	// holders of an owned handle must drop it at that point. Events from
+	// plain Schedule are never recycled — callers may Cancel them at any
+	// later time.
+	owned bool
+	fn    func(now Time)
 }
 
 // At reports the virtual time at which the event fires (or would have fired).
@@ -85,6 +91,10 @@ type Engine struct {
 	seq    uint64
 	queue  eventHeap
 	nsteps uint64
+	// free recycles owned events. The engine is single-threaded (callers
+	// serialize through a Domain), so a plain freelist needs no locking —
+	// and unlike a sync.Pool it is deterministic and never drained by GC.
+	free []*Event
 }
 
 // NewEngine returns an engine with the clock at time zero and no pending
@@ -128,6 +138,91 @@ func (e *Engine) Schedule(at Time, fn func(now Time)) *Event {
 	return ev
 }
 
+// ScheduleOwned is Schedule with the allocation recycled: the event comes
+// from the engine's freelist and returns to it the moment it fires or is
+// CancelOwned-ed. The returned handle is valid only until then — callers
+// must drop their reference at that point and never pass it to Cancel.
+// Firing order is identical to Schedule (the global sequence counter is
+// shared), so mixing the two never perturbs a deterministic run.
+func (e *Engine) ScheduleOwned(at Time, fn func(now Time)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := e.acquire()
+	ev.at, ev.seq, ev.fn = at, e.seq, fn
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// CancelOwned cancels an event obtained from ScheduleOwned and recycles it
+// immediately. The caller must drop its reference: the engine will hand the
+// same Event out again on a later ScheduleOwned.
+func (e *Engine) CancelOwned(ev *Event) {
+	if ev == nil {
+		return
+	}
+	if ev.index >= 0 {
+		heap.Remove(&e.queue, ev.index)
+		ev.index = -1
+	}
+	e.release(ev)
+}
+
+// TimedFunc is one entry of a ScheduleBatch bulk insertion.
+type TimedFunc struct {
+	At Time
+	Fn func(now Time)
+}
+
+// ScheduleBatch inserts a whole batch of events at once: every entry is
+// appended to the queue and the heap property is re-established with one
+// heap.Init — O(n + m) for n new events over m pending, versus the
+// O(n log(n+m)) of push-per-event. Entries fire in (time, batch order),
+// exactly as if scheduled one by one; the events are engine-owned (no
+// handles are returned) and recycle through the freelist after firing.
+// Replay uses this to materialize a full window of query submissions in one
+// shot.
+func (e *Engine) ScheduleBatch(batch []TimedFunc) {
+	if len(batch) == 0 {
+		return
+	}
+	for _, tf := range batch {
+		if tf.At < e.now {
+			panic(fmt.Sprintf("sim: schedule at %v before now %v", tf.At, e.now))
+		}
+		e.seq++
+		ev := e.acquire()
+		ev.at, ev.seq, ev.fn = tf.At, e.seq, tf.Fn
+		ev.index = len(e.queue)
+		e.queue = append(e.queue, ev)
+	}
+	heap.Init(&e.queue)
+}
+
+// acquire pops a recycled event from the freelist (or allocates one) and
+// marks it owned.
+func (e *Engine) acquire() *Event {
+	n := len(e.free)
+	if n == 0 {
+		return &Event{owned: true}
+	}
+	ev := e.free[n-1]
+	e.free[n-1] = nil
+	e.free = e.free[:n-1]
+	ev.canceled = false
+	return ev
+}
+
+// release returns an owned event to the freelist.
+func (e *Engine) release(ev *Event) {
+	if !ev.owned {
+		return
+	}
+	ev.fn = nil
+	e.free = append(e.free, ev)
+}
+
 // After registers fn to run d after the current virtual time.
 func (e *Engine) After(d time.Duration, fn func(now Time)) *Event {
 	if d < 0 {
@@ -166,6 +261,9 @@ func (e *Engine) Step() bool {
 		e.now = ev.at
 		e.nsteps++
 		ev.fn(e.now)
+		// Recycle only after fn returns: fn may itself ScheduleOwned, and
+		// releasing first would hand it this very event mid-flight.
+		e.release(ev)
 		return true
 	}
 	return false

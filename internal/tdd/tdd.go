@@ -14,6 +14,8 @@ package tdd
 
 import (
 	"fmt"
+
+	"repro/internal/tenant"
 )
 
 // ClusterDesign describes how one tenant-group's machine nodes are arranged
@@ -109,6 +111,40 @@ func Route(tenant string, dbs []MPPDBState) (int, error) {
 	}
 	for i, db := range dbs {
 		if db.TenantRunning(tenant) > 0 {
+			return i, nil // line 2: follow the tenant's in-flight queries
+		}
+	}
+	if !dbs[0].Busy() {
+		return 0, nil // line 5: the tuning MPPDB is free
+	}
+	for i := 1; i < len(dbs); i++ {
+		if !dbs[i].Busy() {
+			return i, nil // line 8: any free MPPDB
+		}
+	}
+	return 0, nil // line 10: concurrent processing on G₀
+}
+
+// MPPDBStateRef is the interned-handle view of one MPPDB at routing time:
+// the tenant is identified by its dense group-local Ref instead of a string,
+// so the in-flight check is a slice index rather than a map hash.
+type MPPDBStateRef interface {
+	// Busy reports whether the MPPDB is executing any query.
+	Busy() bool
+	// RefRunning returns the number of queries the given tenant ref
+	// currently has executing on this MPPDB.
+	RefRunning(ref tenant.Ref) int
+}
+
+// RouteRef is Route (Algorithm 1) over interned tenant handles. The decision
+// sequence is byte-for-byte identical to Route; only the tenant lookup
+// changes representation.
+func RouteRef(ref tenant.Ref, dbs []MPPDBStateRef) (int, error) {
+	if len(dbs) == 0 {
+		return 0, fmt.Errorf("tdd: no MPPDBs to route to")
+	}
+	for i, db := range dbs {
+		if db.RefRunning(ref) > 0 {
 			return i, nil // line 2: follow the tenant's in-flight queries
 		}
 	}

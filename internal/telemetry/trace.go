@@ -40,6 +40,7 @@ type Tracer struct {
 	start     int
 	n         int
 	dropped   uint64
+	free      *Span // intrusive freelist of ended spans, for reuse
 }
 
 // NewTracer builds a tracer retaining up to capacity finished spans.
@@ -50,12 +51,19 @@ func NewTracer(clock Clock, capacity int) *Tracer {
 	return &Tracer{clock: clock, ring: make([]SpanRecord, capacity)}
 }
 
-// Span is an in-flight operation. End it exactly once; End is idempotent so
-// error paths may end defensively.
+// Span is an in-flight operation. End it exactly once, and do not touch the
+// span afterwards: End recycles the object into the tracer's freelist, so any
+// post-End call may land on an unrelated later span.
 type Span struct {
 	t     *Tracer
+	next  *Span // freelist link, nil while in flight
 	rec   SpanRecord
 	ended bool
+	// inline backs rec.Attrs for the common small-span case so opening a
+	// span costs no allocation once the freelist is warm. End copies the
+	// attrs out into ring-slot-owned storage, so recycling the array never
+	// mutates a retained record.
+	inline [4]Label
 }
 
 // StartSpan opens a root span of a fresh trace. attrs is a flat
@@ -74,30 +82,41 @@ func (t *Tracer) StartChild(parent SpanContext, name string, attrs ...string) *S
 	return t.newSpan(parent.Trace, parent.Span, name, attrs)
 }
 
-// newSpan allocates the span; callers hold t.mu.
+// newSpan takes a span off the freelist (or allocates one); callers hold t.mu.
 func (t *Tracer) newSpan(trace, parent uint64, name string, attrs []string) *Span {
 	t.nextSpan++
-	return &Span{t: t, rec: SpanRecord{
+	s := t.free
+	if s != nil {
+		t.free = s.next
+		s.next = nil
+		s.ended = false
+	} else {
+		s = &Span{t: t}
+	}
+	s.rec = SpanRecord{
 		Trace:  trace,
 		ID:     t.nextSpan,
 		Parent: parent,
 		Name:   name,
 		Start:  t.clock.Now(),
-		Attrs:  pairsOrdered(attrs),
-	}}
+	}
+	s.rec.Attrs = appendPairs(s.inline[:0], attrs)
+	return s
 }
 
-// pairsOrdered converts a flat key/value list preserving insertion order
-// (unlike metric labels, span attributes tell a story in sequence).
-func pairsOrdered(kv []string) []Label {
+// appendPairs appends a flat key/value list to dst preserving insertion
+// order (unlike metric labels, span attributes tell a story in sequence).
+// The panic message deliberately reports only len(kv): formatting kv itself
+// would leak the slice to the heap and force every StartSpan/StartChild
+// caller's variadic attr list to allocate.
+func appendPairs(dst []Label, kv []string) []Label {
 	if len(kv)%2 != 0 {
-		panic(fmt.Sprintf("telemetry: odd attribute list %q", kv))
+		panic(fmt.Sprintf("telemetry: odd attribute list (%d items)", len(kv)))
 	}
-	out := make([]Label, 0, len(kv)/2)
 	for i := 0; i < len(kv); i += 2 {
-		out = append(out, Label{Key: kv[i], Value: kv[i+1]})
+		dst = append(dst, Label{Key: kv[i], Value: kv[i+1]})
 	}
-	return out
+	return dst
 }
 
 // Context returns the span's identity for linking children.
@@ -114,8 +133,10 @@ func (s *Span) Annotate(key, value string) {
 	}
 }
 
-// End closes the span at the clock's current time and commits it to the
-// tracer's ring. Subsequent Ends are no-ops.
+// End closes the span at the clock's current time, commits it to the
+// tracer's ring, and recycles the span object. The ring slot keeps its own
+// attrs backing array (grown on demand, reused across evictions), so the
+// recycled span's inline storage never aliases a retained record.
 func (s *Span) End() {
 	s.t.mu.Lock()
 	defer s.t.mu.Unlock()
@@ -125,25 +146,35 @@ func (s *Span) End() {
 	s.ended = true
 	s.rec.End = s.t.clock.Now()
 	t := s.t
+	var slot *SpanRecord
 	if t.n == len(t.ring) {
-		t.ring[t.start] = s.rec
+		slot = &t.ring[t.start]
 		t.start = (t.start + 1) % len(t.ring)
 		t.dropped++
 	} else {
-		t.ring[(t.start+t.n)%len(t.ring)] = s.rec
+		slot = &t.ring[(t.start+t.n)%len(t.ring)]
 		t.n++
 	}
+	attrs := append(slot.Attrs[:0], s.rec.Attrs...)
+	*slot = s.rec
+	slot.Attrs = attrs
+	s.rec.Attrs = nil
+	s.next = t.free
+	t.free = s
 }
 
 // Finished returns the retained finished spans, oldest first (which is also
 // ascending span-ID order, since spans commit on End and the sim clock never
-// runs backwards within a run).
+// runs backwards within a run). Attrs are deep-copied so the result stays
+// valid while later spans reuse the ring's slot-owned storage.
 func (t *Tracer) Finished() []SpanRecord {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := make([]SpanRecord, 0, t.n)
 	for i := 0; i < t.n; i++ {
 		out = append(out, t.ring[(t.start+i)%len(t.ring)])
+		r := &out[len(out)-1]
+		r.Attrs = append([]Label(nil), r.Attrs...)
 	}
 	return out
 }

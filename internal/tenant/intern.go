@@ -1,0 +1,79 @@
+// Tenant interning: the submit hot path's string killer.
+//
+// Every layer of the per-query pipeline used to key its tenant state by the
+// tenant's string ID — the router's member map, each MPPDB's deployed-data
+// and running-query maps, the admission controller's bucket map. One submit
+// paid five or six string hashes before any real work happened. An Interner
+// assigns each tenant of a group a dense int index (a Ref) exactly once — at
+// deploy or migration time — and every per-tenant structure below the front
+// door becomes a flat slice indexed by that Ref.
+//
+// Refs are group-local: each tenant-group owns one Interner, shared by its
+// router, its MPPDB instances, and its admission controller, so a Ref
+// resolved at the front door stays valid across all of them. The string API
+// everywhere remains as a thin shim that resolves through the Interner once
+// and delegates to the Ref path.
+package tenant
+
+import "sync"
+
+// Ref is a dense per-group tenant index assigned by an Interner. The zero
+// Ref is a valid index; use NoRef for "absent".
+type Ref int32
+
+// NoRef marks an unresolved or unknown tenant.
+const NoRef Ref = -1
+
+// Interner assigns dense Refs to tenant IDs. Interning happens at deploy and
+// migration time only; the hot path never touches the Interner — it carries
+// Refs resolved once at the front door. The internal lock therefore guards
+// only cold-path string resolution and growth, never per-query work.
+type Interner struct {
+	mu   sync.RWMutex
+	byID map[string]Ref
+	ids  []string
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{byID: make(map[string]Ref)}
+}
+
+// Intern returns the tenant's Ref, assigning the next dense index on first
+// sight.
+func (in *Interner) Intern(id string) Ref {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if ref, ok := in.byID[id]; ok {
+		return ref
+	}
+	ref := Ref(len(in.ids))
+	in.byID[id] = ref
+	in.ids = append(in.ids, id)
+	return ref
+}
+
+// Lookup resolves an already-interned tenant ID.
+func (in *Interner) Lookup(id string) (Ref, bool) {
+	in.mu.RLock()
+	ref, ok := in.byID[id]
+	in.mu.RUnlock()
+	return ref, ok
+}
+
+// ID returns the tenant ID behind a Ref (empty for out-of-range refs).
+func (in *Interner) ID(ref Ref) string {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if ref < 0 || int(ref) >= len(in.ids) {
+		return ""
+	}
+	return in.ids[ref]
+}
+
+// Len returns the number of interned tenants. Refs are always < Len.
+func (in *Interner) Len() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return len(in.ids)
+}

@@ -342,6 +342,12 @@ type ServeOptions struct {
 	SubmitBackoff time.Duration
 	// SubmitTimeout is the virtual-time budget per submit (default 5 min).
 	SubmitTimeout time.Duration
+	// DisableCoalesce turns off server-side coalescing of concurrent single
+	// submits into shard-local batches (on by default).
+	DisableCoalesce bool
+	// MaxBatch caps how many coalesced submits one batched routing call
+	// takes (default 64).
+	MaxBatch int
 }
 
 // Handler returns the MPPDBaaS HTTP API over the system. Deploy with
@@ -350,11 +356,13 @@ type ServeOptions struct {
 // GET /v1/online and GET /v1/reconsolidation.
 func (s *System) Handler(opts ServeOptions) (http.Handler, error) {
 	srv, err := service.New(s.Deployment, s.Workload.Catalog, s.Plan, service.Config{
-		TimeScale:      opts.TimeScale,
-		DisableMetrics: opts.DisableMetrics,
-		SubmitRetries:  opts.SubmitRetries,
-		SubmitBackoff:  opts.SubmitBackoff,
-		SubmitTimeout:  opts.SubmitTimeout,
+		TimeScale:       opts.TimeScale,
+		DisableMetrics:  opts.DisableMetrics,
+		SubmitRetries:   opts.SubmitRetries,
+		SubmitBackoff:   opts.SubmitBackoff,
+		SubmitTimeout:   opts.SubmitTimeout,
+		DisableCoalesce: opts.DisableCoalesce,
+		MaxBatch:        opts.MaxBatch,
 	})
 	if err != nil {
 		return nil, err
