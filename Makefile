@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos-smoke overload-smoke grouping-smoke online-smoke service-smoke bench bench-grouping bench-online bench-service
+.PHONY: check vet build test race chaos-smoke overload-smoke gray-smoke grouping-smoke online-smoke service-smoke bench bench-grouping bench-online bench-service
 
 # The full pre-commit gate: static checks, build, the bounded chaos,
-# overload, grouping, online and service smokes, and the race-enabled suite.
-check: vet build chaos-smoke overload-smoke grouping-smoke online-smoke service-smoke race
+# overload, gray-failure, grouping, online and service smokes, and the
+# race-enabled suite.
+check: vet build chaos-smoke overload-smoke gray-smoke grouping-smoke online-smoke service-smoke race
 
 vet:
 	$(GO) vet ./...
@@ -29,6 +30,13 @@ chaos-smoke:
 # and compliant tenants hold their guarantee.
 overload-smoke:
 	$(GO) test -race -short -run TestOverloadSmoke ./internal/recovery/chaos
+
+# Bounded fail-slow smoke with the race detector on: a seeded gray-failure
+# storm (stuck, gradual, flapping slowdowns) against a detector-armed group,
+# verifying the hedge → drain-and-replace ladder restores attainment and
+# leaves the pool leak-free.
+gray-smoke:
+	$(GO) test -race -short -run TestGraySmoke ./internal/recovery/chaos
 
 # Solver-equivalence property tests under the race detector plus a one-shot
 # pass over the solver-scale benchmarks, so a pruning bug or a benchmark

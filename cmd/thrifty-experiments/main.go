@@ -66,6 +66,7 @@ var all = []experiment{
 		return res.Tables(), nil
 	}, true},
 	{"chaos", experiments.ChaosRecovery, true},
+	{"grayfail", experiments.GrayFail, true},
 	{"overload", experiments.OverloadStorm, true},
 	{"drift", experiments.Drift, true},
 	{"ablation", table1(experiments.AblationSolvers), true},

@@ -59,6 +59,13 @@ func main() {
 		admissionHeadroom = flag.Float64("admission-headroom", 2, "factor applied to each tenant's logged arrival rate/burst when deriving its contract")
 		admissionQueue    = flag.Int("admission-queue", 32, "bound of the per-group admission queue (submits waiting for a retry slot)")
 
+		grayOn           = flag.Bool("gray", false, "arm fail-slow (gray failure) detection per tenant-group: peer-relative latency anomaly detection with a hedge → drain-and-replace ladder")
+		grayInterval     = flag.Duration("gray-interval", time.Minute, "virtual-time beat of the gray detector")
+		graySuspect      = flag.Float64("gray-suspect", 1.5, "suspicion threshold: an instance's mean completion slowdown vs the peer median")
+		grayConfirmBeats = flag.Int("gray-confirm-beats", 3, "consecutive suspect beats before a suspected (and already hedged) gray instance is confirmed")
+		grayDrainAfter   = flag.Duration("gray-drain-after", 10*time.Minute, "how long a confirmed-gray instance is hedged before it is drained and replaced")
+		grayStrikeDecay  = flag.Duration("gray-strike-decay", 6*time.Hour, "clear stretch after which an instance's strike count is forgotten")
+
 		submitRetries = flag.Int("submit-retries", 3, "retries of a transiently failed submit before 504 (negative disables)")
 		submitBackoff = flag.Duration("submit-backoff", 30*time.Second, "virtual-time wait between submit attempts")
 		submitTimeout = flag.Duration("submit-timeout", 5*time.Minute, "virtual-time budget per submit before 504")
@@ -111,6 +118,15 @@ func main() {
 		acfg.MaxQueue = *admissionQueue
 		dopts.Admission = &acfg
 	}
+	if *grayOn {
+		gcfg := thrifty.DefaultGrayConfig()
+		gcfg.Interval = *grayInterval
+		gcfg.SuspectRatio = *graySuspect
+		gcfg.ConfirmBeats = *grayConfirmBeats
+		gcfg.DrainAfter = *grayDrainAfter
+		gcfg.StrikeDecay = *grayStrikeDecay
+		dopts.Gray = &gcfg
+	}
 	sys, err := thrifty.Deploy(w, plan, dopts)
 	if err != nil {
 		fatal("%v", err)
@@ -143,8 +159,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v, recovery %v, admission %v, online %v)\n",
-		*addr, *timeScale, *metrics, *sharded, *recovery, *admissionOn, *onlineOn)
+	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v, recovery %v, admission %v, gray %v, online %v)\n",
+		*addr, *timeScale, *metrics, *sharded, *recovery, *admissionOn, *grayOn, *onlineOn)
 
 	select {
 	case err := <-errc:

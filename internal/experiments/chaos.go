@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"repro/internal/advisor"
@@ -10,7 +9,6 @@ import (
 	"repro/internal/master"
 	"repro/internal/recovery/chaos"
 	"repro/internal/sim"
-	"repro/internal/workload"
 )
 
 // ChaosRecovery runs the §4.4 chaos harness against a consolidated
@@ -37,30 +35,7 @@ func ChaosRecovery(env *Env) ([]*Table, error) {
 	}
 	// One deployment of the largest groups (so failure bursts span groups),
 	// bounded like the headline SLA validation.
-	type cand struct{ gi, members int }
-	cands := make([]cand, 0, len(plan.Groups))
-	for i := range plan.Groups {
-		cands = append(cands, cand{i, len(plan.Groups[i].TenantIDs)})
-	}
-	sort.Slice(cands, func(i, j int) bool { return cands[i].members > cands[j].members })
-	if len(cands) > env.Scale.ReplayGroups {
-		cands = cands[:env.Scale.ReplayGroups]
-	}
-	subPlan := &advisor.Plan{Config: plan.Config}
-	members := map[string]bool{}
-	for _, c := range cands {
-		pg := plan.Groups[c.gi]
-		subPlan.Groups = append(subPlan.Groups, pg)
-		for _, id := range pg.TenantIDs {
-			members[id] = true
-		}
-	}
-	var subLogs []*workload.TenantLog
-	for _, tl := range logs {
-		if members[tl.Tenant.ID] {
-			subLogs = append(subLogs, tl)
-		}
-	}
+	subPlan, subLogs := largestSubPlan(plan, logs, env.Scale.ReplayGroups)
 
 	eng := sim.NewEngine()
 	pool := cluster.NewPool(2 * subPlan.NodesUsed())

@@ -60,6 +60,12 @@ type Options struct {
 	// RT-TTP and recovery state. Strictly opt-in so the bare replay path
 	// stays byte-identical.
 	Admission *admission.Config
+	// Gray, when non-nil, arms a fail-slow detector per group with this
+	// config: peer-relative completion-latency outlier detection and the
+	// hedge → drain response ladder. The drain rung needs a recovery
+	// controller, so a nil Recovery is auto-armed with recovery.DefaultConfig.
+	// Strictly opt-in, like Admission.
+	Gray *recovery.GrayConfig
 }
 
 // DefaultOptions returns the thesis' run-time settings.
@@ -206,14 +212,30 @@ func (m *Master) buildGroup(eng *sim.Engine, dom *sim.Domain, tel *telemetry.Hub
 	g.Router = rt
 	g.Bind(dom)
 	g.SetTelemetry(tel)
-	if m.opts.Recovery != nil {
-		rc, err := recovery.New(eng, m.pool, pg.ID, g.Instances, *m.opts.Recovery)
+	rcfg := m.opts.Recovery
+	if rcfg == nil && m.opts.Gray != nil {
+		// The gray ladder's drain rung executes through the crash controller;
+		// arming Gray without Recovery implies the default crash config.
+		def := recovery.DefaultConfig()
+		rcfg = &def
+	}
+	if rcfg != nil {
+		rc, err := recovery.New(eng, m.pool, pg.ID, g.Instances, *rcfg)
 		if err != nil {
 			return nil, 0, err
 		}
 		rc.SetTelemetry(tel)
 		rc.Start()
 		g.Recovery = rc
+	}
+	if m.opts.Gray != nil {
+		gd, err := recovery.NewGrayDetector(eng, m.pool, pg.ID, g.Instances, rt, g.Recovery, *m.opts.Gray)
+		if err != nil {
+			return nil, 0, err
+		}
+		gd.SetTelemetry(tel)
+		gd.Start()
+		g.Gray = gd
 	}
 	if m.opts.Admission != nil {
 		ac, err := admission.New(eng, pg.ID, p, pg.TenantIDs,

@@ -146,6 +146,12 @@ type Instance struct {
 	onDone func(Result, uint64)
 
 	failedNodes int
+	// slowFactor models a fail-slow (gray) fault: the whole instance runs at
+	// this fraction of nominal speed on top of any node-loss degradation.
+	// 1.0 means healthy; multiplication by exactly 1.0 is IEEE-exact, so an
+	// instance that never sees SetSlowdown is bit-identical to one predating
+	// the field.
+	slowFactor float64
 
 	// Telemetry (optional): service/sojourn histograms and the live
 	// concurrency level, labelled by instance.
@@ -172,11 +178,12 @@ func NewInterned(eng *sim.Engine, id string, nodes int, in *tenant.Interner) *In
 		panic(fmt.Sprintf("mppdb: instance %q with %d nodes", id, nodes))
 	}
 	m := &Instance{
-		id:    id,
-		nodes: nodes,
-		eng:   eng,
-		state: Ready,
-		in:    in,
+		id:         id,
+		nodes:      nodes,
+		eng:        eng,
+		state:      Ready,
+		in:         in,
+		slowFactor: 1,
 	}
 	m.completeCb = func(now sim.Time) {
 		// The handle is dead the instant the event fires: drop it before
@@ -374,16 +381,35 @@ func (m *Instance) RepairNode() error {
 func (m *Instance) FailedNodes() int { return m.failedNodes }
 
 // speed returns the instance's aggregate progress rate: 1.0 healthy, scaled
-// down by failed nodes.
+// down by failed nodes and any fail-slow factor. The node-loss ratio is
+// computed first so runs that never set a slowdown multiply by exactly 1.0.
 func (m *Instance) speed() float64 {
-	return float64(m.nodes-m.failedNodes) / float64(m.nodes)
+	return float64(m.nodes-m.failedNodes) / float64(m.nodes) * m.slowFactor
 }
 
 // SpeedFactor returns the instance's current progress rate: 1.0 healthy,
-// (nodes-failed)/nodes degraded. Query latency scales by exactly its inverse
-// while the instance is otherwise idle (§4.4: the MPPDB "can still stay
-// online even with some node failure", just slower).
+// (nodes-failed)/nodes degraded, further scaled by any fail-slow factor.
+// Query latency scales by exactly its inverse while the instance is
+// otherwise idle (§4.4: the MPPDB "can still stay online even with some node
+// failure", just slower).
 func (m *Instance) SpeedFactor() float64 { return m.speed() }
+
+// SetSlowdown imposes (or clears, with factor 1) a fractional fail-slow
+// fault: the instance progresses at factor× its node-loss-adjusted speed
+// until the next call. Unlike FailNode this models gray failure — the
+// instance still heartbeats and accepts queries, it is just slow.
+func (m *Instance) SetSlowdown(factor float64) error {
+	if factor <= 0 || factor > 1 {
+		return fmt.Errorf("mppdb %s: slowdown factor %v outside (0, 1]", m.id, factor)
+	}
+	m.advance()
+	m.slowFactor = factor
+	m.reschedule()
+	return nil
+}
+
+// Slowdown returns the current fail-slow factor (1.0 when healthy).
+func (m *Instance) Slowdown() float64 { return m.slowFactor }
 
 // IsolatedLatencyRef returns the latency the query class would see on this
 // instance, alone and healthy, for the given tenant ref's data.
@@ -412,17 +438,57 @@ func (m *Instance) Submit(tenantID string, class *queries.Class, done func(Resul
 	if !ok {
 		return 0, fmt.Errorf("mppdb %s: tenant %q not deployed", m.id, tenantID)
 	}
-	return m.submit(ref, class, done, 0, false)
+	return m.submit(ref, class, done, 0, false, false)
 }
 
 // SubmitTagged is the pooled hot path: the query is identified by its
 // interned ref, and completion reports through the instance-level handler
 // (SetCompletionHandler) with tag — no per-call closure is allocated.
 func (m *Instance) SubmitTagged(ref tenant.Ref, class *queries.Class, tag uint64) (sim.Time, error) {
-	return m.submit(ref, class, nil, tag, true)
+	return m.submit(ref, class, nil, tag, true, false)
 }
 
-func (m *Instance) submit(ref tenant.Ref, class *queries.Class, done func(Result), tag uint64, tagged bool) (sim.Time, error) {
+// SubmitHedge starts a hedged duplicate of a query already running on a
+// sibling instance. It behaves like SubmitTagged except that the
+// service-demand histogram is not observed — the logical query was already
+// counted at its primary submit, and hedges must never double-count.
+func (m *Instance) SubmitHedge(ref tenant.Ref, class *queries.Class, tag uint64) (sim.Time, error) {
+	return m.submit(ref, class, nil, tag, true, true)
+}
+
+// CancelTagged withdraws an in-flight tagged query without completing it:
+// no completion handler fires and no sojourn/completed telemetry is
+// observed (the hedge winner accounts for the logical query). It reports
+// whether a matching query was found.
+func (m *Instance) CancelTagged(tag uint64) bool {
+	m.advance()
+	var ex *exec
+	for _, cand := range m.execs {
+		if cand.tagged && cand.tag == tag {
+			ex = cand
+			break
+		}
+	}
+	if ex == nil {
+		return false
+	}
+	i := ex.idx
+	last := len(m.execs) - 1
+	m.execs[i] = m.execs[last]
+	m.execs[i].idx = i
+	m.execs[last] = nil
+	m.execs = m.execs[:last]
+	ex.idx = -1
+	m.running[ex.ref]--
+	if m.tel != nil {
+		m.mRunning.Set(float64(len(m.execs)))
+	}
+	m.reschedule()
+	m.releaseExec(ex)
+	return true
+}
+
+func (m *Instance) submit(ref tenant.Ref, class *queries.Class, done func(Result), tag uint64, tagged, hedge bool) (sim.Time, error) {
 	if m.state != Ready {
 		return 0, fmt.Errorf("mppdb %s: not ready (%v)", m.id, m.state)
 	}
@@ -476,7 +542,11 @@ func (m *Instance) submit(ref tenant.Ref, class *queries.Class, done func(Result
 	m.execs = append(m.execs, ex)
 	m.running[ref]++
 	if m.tel != nil {
-		m.mService.Observe(iso.Seconds())
+		// Hedged duplicates skip the service-demand histogram: the logical
+		// query was already observed at its primary submit.
+		if !hedge {
+			m.mService.Observe(iso.Seconds())
+		}
 		m.mRunning.Set(float64(len(m.execs)))
 	}
 	if m.completion != nil {

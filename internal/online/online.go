@@ -12,6 +12,7 @@ import (
 	"repro/internal/grouping"
 	"repro/internal/master"
 	"repro/internal/monitor"
+	"repro/internal/mppdb"
 	"repro/internal/sim"
 	"repro/internal/tdd"
 	"repro/internal/telemetry"
@@ -62,20 +63,22 @@ func DefaultConfig(plan advisor.Config, horizon sim.Time) Config {
 
 // Stats counts what the loop has done so far. All fields are cumulative.
 type Stats struct {
-	Ticks             int      `json:"ticks"`
-	LastTickAt        sim.Time `json:"last_tick_at"`
-	DeltaEpochs       int64    `json:"delta_epochs"`
-	Drifts            int      `json:"drifts"`
-	Joins             int      `json:"joins"`
-	Leaves            int      `json:"leaves"`
-	LocalMoves        int      `json:"local_moves"`
-	Fallbacks         int      `json:"fallbacks"`
-	MigrationsStarted int      `json:"migrations_started"`
-	MigrationsCutOver int      `json:"migrations_cut_over"`
-	GroupsRetired     int      `json:"groups_retired"`
-	Groups            int      `json:"groups"`
-	Tenants           int      `json:"tenants"`
-	Infeasible        int      `json:"infeasible"`
+	Ticks              int      `json:"ticks"`
+	LastTickAt         sim.Time `json:"last_tick_at"`
+	DeltaEpochs        int64    `json:"delta_epochs"`
+	Drifts             int      `json:"drifts"`
+	Joins              int      `json:"joins"`
+	Leaves             int      `json:"leaves"`
+	LocalMoves         int      `json:"local_moves"`
+	Fallbacks          int      `json:"fallbacks"`
+	MigrationsStarted  int      `json:"migrations_started"`
+	MigrationsCutOver  int      `json:"migrations_cut_over"`
+	MigrationsAborted  int      `json:"migrations_aborted"`
+	MigrationsPromoted int      `json:"migrations_promoted"`
+	GroupsRetired      int      `json:"groups_retired"`
+	Groups             int      `json:"groups"`
+	Tenants            int      `json:"tenants"`
+	Infeasible         int      `json:"infeasible"`
 }
 
 // Migration is one live placement change in flight or completed.
@@ -88,7 +91,37 @@ type Migration struct {
 	Started sim.Time `json:"started"`
 	ReadyAt sim.Time `json:"ready_at"`
 	CutOver bool     `json:"cut_over"`
+	// Failed marks a migration whose destination died during the background
+	// reload; Failure names the cause ("destination_died") and the tenants
+	// were re-placed elsewhere. Resolution records how a non-standard
+	// completion went: "re_placed" after an abort, "promoted_early" when the
+	// source died mid-drain and the destination opened at degraded speed.
+	Failed     bool   `json:"failed,omitempty"`
+	Failure    string `json:"failure,omitempty"`
+	Resolution string `json:"resolution,omitempty"`
 }
+
+// flight is the engine-side runtime context of one in-flight migration: the
+// crash watchers need the destination group pointer and the source mapping
+// after the closures that started the migration are gone. done latches when
+// the migration reaches any terminal state so the originally scheduled
+// cutover callback can no-op after an abort or an early promotion.
+type flight struct {
+	mid     int
+	kind    string
+	ids     []string
+	from    map[string]string // tenant → source gid ("" for a join)
+	to      string
+	grt     *master.DeployedGroup
+	readyAt sim.Time
+	newGrp  bool
+	done    bool
+}
+
+// promotedSlowdown is the degraded serving speed of a destination promoted
+// before its background reload finished: the surviving replicas answer the
+// drain remainder at half speed until the reload would have completed.
+const promotedSlowdown = 0.5
 
 // Controller is the per-deployment online re-consolidation loop. It runs on
 // the deployment's sim clock — every decision happens inside an engine
@@ -122,6 +155,7 @@ type Controller struct {
 	tenants  map[string]*tenant.Tenant
 	drifted  map[string]bool
 	retiring map[string]bool
+	inflight map[int]*flight
 	nextGID  int
 	nextMig  int
 
@@ -179,6 +213,7 @@ func New(eng *sim.Engine, dep *master.Deployment, mst *master.Master,
 		tenants:  make(map[string]*tenant.Tenant),
 		drifted:  make(map[string]bool),
 		retiring: make(map[string]bool),
+		inflight: make(map[int]*flight),
 	}
 	byID := make(map[string]*workload.TenantLog, len(logs))
 	for _, tl := range logs {
@@ -299,6 +334,7 @@ func (c *Controller) tick(now sim.Time) {
 	c.leaveQ = nil
 	c.mu.Unlock()
 
+	c.watchMigrations(now)
 	c.ingestDeltas(now)
 	for _, id := range leaves {
 		c.processLeave(now, id)
@@ -530,6 +566,11 @@ func (c *Controller) migrateInto(now sim.Time, kind, id, from, to string) {
 		Kind: kind, Tenants: []string{id}, From: from, To: to,
 		Started: now, ReadyAt: readyAt,
 	})
+	fl := &flight{
+		mid: mid, kind: kind, ids: []string{id},
+		from: map[string]string{id: from}, to: to, grt: grt, readyAt: readyAt,
+	}
+	c.inflight[mid] = fl
 	c.events().Publish(telemetry.Event{
 		Type:   telemetry.EventMigrationStarted,
 		Group:  to,
@@ -538,16 +579,28 @@ func (c *Controller) migrateInto(now sim.Time, kind, id, from, to string) {
 		Detail: fmt.Sprintf("kind=%s from=%s", kind, from),
 	})
 	c.eng.Schedule(readyAt, func(at sim.Time) {
-		c.cutOverTenant(at, mid, id, from, to)
+		c.cutOverTenant(at, fl)
 	})
 }
 
 // cutOverTenant flips one tenant to its provisioned target group. The
 // source keeps the tenant's routing entry until the drain slack expires, so
 // a submit that resolved the source just before the flip still lands there
-// — live migration never drops queries.
-func (c *Controller) cutOverTenant(at sim.Time, mid int, id, from, to string) {
-	grt, ok := c.dep.Plane().GroupByID(to)
+// — live migration never drops queries. A destination that died during the
+// background reload aborts the cutover instead: the nodes come back, the
+// tenant is re-placed, and it keeps draining through the live source.
+func (c *Controller) cutOverTenant(at sim.Time, fl *flight) {
+	if fl.done {
+		return // aborted or promoted before the reload finished
+	}
+	if groupDead(fl.grt) {
+		c.abortMigration(at, fl, "destination_died")
+		return
+	}
+	fl.done = true
+	delete(c.inflight, fl.mid)
+	id := fl.ids[0]
+	grt, ok := c.dep.Plane().GroupByID(fl.to)
 	if !ok {
 		return
 	}
@@ -560,14 +613,193 @@ func (c *Controller) cutOverTenant(at sim.Time, mid int, id, from, to string) {
 	}
 	grt.AddMember(tn)
 	c.dep.Plane().Index([]string{id}, grt)
-	c.releaseSource(id, from)
+	c.releaseSource(id, fl.from[id])
 	c.events().Publish(telemetry.Event{
 		Type:   telemetry.EventMigrationCutover,
-		Group:  to,
+		Group:  fl.to,
 		Tenant: id,
-		Detail: fmt.Sprintf("from=%s", from),
+		Detail: fmt.Sprintf("from=%s", fl.from[id]),
 	})
-	c.finishMigration(mid)
+	c.finishMigration(fl.mid)
+}
+
+// groupDead reports whether any of the group's instances has died. Stopped
+// only gates new submits — executions already in flight still finish — so
+// death itself never drops queries; what it kills is the group's ability to
+// absorb the drain remainder, which is what the crash watchers repair.
+func groupDead(grt *master.DeployedGroup) bool {
+	for _, inst := range grt.Instances {
+		if inst.State() == mppdb.Stopped {
+			return true
+		}
+	}
+	return false
+}
+
+// watchMigrations is the tick-time crash watch over in-flight migrations. A
+// dead destination aborts the migration before its cutover would fire and
+// re-places the tenants; a dead source promotes the destination early so the
+// drain remainder routes through degraded serving instead of a black hole.
+func (c *Controller) watchMigrations(now sim.Time) {
+	if len(c.inflight) == 0 {
+		return
+	}
+	mids := make([]int, 0, len(c.inflight))
+	for mid := range c.inflight {
+		mids = append(mids, mid)
+	}
+	sort.Ints(mids)
+	for _, mid := range mids {
+		fl, ok := c.inflight[mid]
+		if !ok || fl.done {
+			continue
+		}
+		if groupDead(fl.grt) {
+			c.abortMigration(now, fl, "destination_died")
+			continue
+		}
+		for _, id := range fl.ids {
+			src := fl.from[id]
+			if src == "" {
+				continue
+			}
+			sg, ok := c.dep.Plane().GroupByID(src)
+			if !ok {
+				continue
+			}
+			if groupDead(sg) {
+				c.promoteMigration(now, fl)
+				break
+			}
+		}
+	}
+}
+
+// abortMigration unwinds a migration whose destination died during the
+// background reload: the half-loaded data is scrubbed from the surviving
+// replicas, a destination provisioned just for this migration releases its
+// nodes back to the pool, and every tenant is re-placed — into the best
+// surviving group when one is feasible, onto a freshly provisioned group
+// otherwise, or back onto its live source as a last resort. The sources
+// kept serving throughout, so no query is dropped.
+func (c *Controller) abortMigration(at sim.Time, fl *flight, cause string) {
+	fl.done = true
+	delete(c.inflight, fl.mid)
+	for _, id := range fl.ids {
+		for _, inst := range fl.grt.Instances {
+			inst.RemoveTenant(id)
+		}
+		c.pl.Unassign(id)
+	}
+	freed := 0
+	if fl.newGrp {
+		// The group never served a query; forget it and free its nodes
+		// (release also covers the dead instance's — the repair pipeline is
+		// the pool's own concern).
+		c.pl.RemoveGroup(fl.to)
+		freed = c.dep.ReleaseGroup(fl.grt)
+	}
+	c.mu.Lock()
+	for i := range c.migrations {
+		if c.migrations[i].ID == fl.mid {
+			c.migrations[i].Failed = true
+			c.migrations[i].Failure = cause
+			c.migrations[i].Resolution = "re_placed"
+			break
+		}
+	}
+	c.stats.MigrationsAborted++
+	c.mu.Unlock()
+	c.events().Publish(telemetry.Event{
+		Type:   telemetry.EventMigrationAborted,
+		Group:  fl.to,
+		Value:  float64(freed),
+		Detail: fmt.Sprintf("cause=%s kind=%s tenants=%d", cause, fl.kind, len(fl.ids)),
+	})
+	for _, id := range fl.ids {
+		t, ok := c.pl.Tenant(id)
+		if !ok {
+			continue // departed while migrating
+		}
+		src := fl.from[id]
+		if gid, ok := c.pl.BestGroup(t.Nodes, t.Spans, fl.to); ok {
+			c.pl.Assign(id, gid)
+			if gid != src {
+				c.migrateInto(at, fl.kind, id, src, gid)
+			}
+			continue
+		}
+		if _, err := c.deployNewGroup(at, fl.kind, []string{id}, map[string]string{id: src}); err == nil {
+			continue
+		}
+		if src != "" {
+			c.pl.Assign(id, src) // revert: stays routed through the live source
+			continue
+		}
+		// A join whose only home died and nothing else fits: withdraw it.
+		c.pl.Drop(id)
+		delete(c.logs, id)
+		delete(c.tenants, id)
+	}
+}
+
+// promoteMigration cuts a migration over early because its source died
+// mid-drain: the surviving destination replicas open for serving now — at
+// promotedSlowdown until the background reload would have finished — and the
+// tenant→group index flips immediately, so the drain remainder routes
+// through degraded serving instead of the dead source.
+func (c *Controller) promoteMigration(now sim.Time, fl *flight) {
+	fl.done = true
+	delete(c.inflight, fl.mid)
+	for _, inst := range fl.grt.Instances {
+		if inst.State() == mppdb.Stopped {
+			continue
+		}
+		if inst.State() != mppdb.Ready {
+			inst.SetState(mppdb.Ready)
+		}
+		if now < fl.readyAt && inst.Slowdown() == 1 {
+			inst := inst
+			_ = inst.SetSlowdown(promotedSlowdown)
+			c.eng.Schedule(fl.readyAt, func(sim.Time) {
+				// Lift the degradation unless something else (a chaos
+				// injection) has re-pinned the speed meanwhile.
+				if inst.Slowdown() == promotedSlowdown {
+					_ = inst.SetSlowdown(1)
+				}
+			})
+		}
+	}
+	if fl.newGrp {
+		// DeployGroup already registered the tenants on the new group's
+		// router; only the index flip was pending.
+		c.dep.Plane().Index(fl.ids, fl.grt)
+	} else if tn, ok := c.tenants[fl.ids[0]]; ok {
+		if err := fl.grt.Router.AddTenant(tn); err == nil {
+			fl.grt.AddMember(tn)
+		}
+		c.dep.Plane().Index(fl.ids[:1], fl.grt)
+	}
+	for _, id := range fl.ids {
+		c.releaseSource(id, fl.from[id])
+	}
+	c.mu.Lock()
+	for i := range c.migrations {
+		if c.migrations[i].ID == fl.mid {
+			c.migrations[i].CutOver = true
+			c.migrations[i].Resolution = "promoted_early"
+			break
+		}
+	}
+	c.stats.MigrationsCutOver++
+	c.stats.MigrationsPromoted++
+	c.mu.Unlock()
+	c.events().Publish(telemetry.Event{
+		Type:  telemetry.EventMigrationPromoted,
+		Group: fl.to,
+		Detail: fmt.Sprintf("source died mid-drain; destination serving at %.2gx until %v",
+			promotedSlowdown, fl.readyAt),
+	})
 }
 
 // releaseSource detaches a migrated-away tenant from its source group at
@@ -638,6 +870,15 @@ func (c *Controller) deployNewGroup(now sim.Time, kind string, ids []string, fro
 		Kind: kind, Tenants: append([]string(nil), ids...), From: src, To: gid,
 		Started: now, ReadyAt: readyAt,
 	})
+	srcOf := make(map[string]string, len(ids))
+	for _, id := range ids {
+		srcOf[id] = from[id]
+	}
+	fl := &flight{
+		mid: mid, kind: kind, ids: pg.TenantIDs,
+		from: srcOf, to: gid, grt: grt, readyAt: readyAt, newGrp: true,
+	}
+	c.inflight[mid] = fl
 	c.events().Publish(telemetry.Event{
 		Type:   telemetry.EventMigrationStarted,
 		Group:  gid,
@@ -645,18 +886,35 @@ func (c *Controller) deployNewGroup(now sim.Time, kind string, ids []string, fro
 		Detail: fmt.Sprintf("kind=%s tenants=%d", kind, len(ids)),
 	})
 	c.eng.Schedule(readyAt, func(at sim.Time) {
-		c.dep.Plane().Index(pg.TenantIDs, grt)
-		for _, id := range pg.TenantIDs {
-			c.releaseSource(id, from[id])
-		}
-		c.events().Publish(telemetry.Event{
-			Type:   telemetry.EventMigrationCutover,
-			Group:  gid,
-			Detail: fmt.Sprintf("tenants=%d", len(pg.TenantIDs)),
-		})
-		c.finishMigration(mid)
+		c.cutOverGroup(at, fl)
 	})
 	return gid, nil
+}
+
+// cutOverGroup flips a freshly provisioned group's tenants live once the
+// background reload finishes — unless the group died while loading, in which
+// case the migration aborts and the tenants re-place from their still-serving
+// sources.
+func (c *Controller) cutOverGroup(at sim.Time, fl *flight) {
+	if fl.done {
+		return // aborted or promoted before the reload finished
+	}
+	if groupDead(fl.grt) {
+		c.abortMigration(at, fl, "destination_died")
+		return
+	}
+	fl.done = true
+	delete(c.inflight, fl.mid)
+	c.dep.Plane().Index(fl.ids, fl.grt)
+	for _, id := range fl.ids {
+		c.releaseSource(id, fl.from[id])
+	}
+	c.events().Publish(telemetry.Event{
+		Type:   telemetry.EventMigrationCutover,
+		Group:  fl.to,
+		Detail: fmt.Sprintf("tenants=%d", len(fl.ids)),
+	})
+	c.finishMigration(fl.mid)
 }
 
 // repairGroup restores an infeasible group. Local repair first: members are

@@ -10,6 +10,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/epoch"
 	"repro/internal/master"
+	"repro/internal/mppdb"
 	"repro/internal/queries"
 	"repro/internal/sim"
 	"repro/internal/tdd"
@@ -347,6 +348,158 @@ func TestMoveCutoverNeverDropsQueries(t *testing.T) {
 	w.eng.RunAll()
 	if got := len(w.dep.Records()); got != 5 {
 		t.Errorf("%d query records, want 5 (no drops)", got)
+	}
+}
+
+// killGroup stops every instance of a deployed group in place, as a crash
+// would: new submits stop resolving there, but executions already in flight
+// still finish.
+func (w *world) killGroup(t *testing.T, gid string) {
+	t.Helper()
+	grt, ok := w.dep.Plane().GroupByID(gid)
+	if !ok {
+		t.Fatalf("group %s not deployed", gid)
+	}
+	for _, inst := range grt.Instances {
+		inst.SetState(mppdb.Stopped)
+	}
+}
+
+// TestMigrationDestinationDiesAborts kills the destination group in the
+// middle of a costed live migration's background reload. The crash watch must
+// abort the cutover and re-place the tenant — onto a freshly provisioned
+// group here, since the source conflicts under R=1 and the dead destination
+// is excluded — while every query keeps draining through the live source.
+func TestMigrationDestinationDiesAborts(t *testing.T) {
+	groups, acts := twoGroups()
+	w := liveWorld(t, groups, acts, false) // costed migrations
+	w.ctl.Start()
+	w.inject(t, "Ta", win(2))
+
+	// The move TG-0000 → TG-0001 is decided at the first tick; the crash
+	// lands mid-reload, so the 30-minute tick's watch catches it well before
+	// the scheduled cutover would.
+	decisionAt := 15 * sim.Minute
+	cost := sim.Duration(cluster.LoadTime(100, 2, true))
+	if cost < 20*sim.Minute {
+		t.Fatalf("load cost %v too small for a mid-reload crash", cost)
+	}
+	w.eng.Schedule(20*sim.Minute, func(sim.Time) { w.killGroup(t, "TG-0001") })
+
+	var routed []string
+	at := func(ts sim.Time) {
+		w.eng.Schedule(ts, func(sim.Time) { routed = append(routed, w.submit(t, "Ta")) })
+	}
+	at(decisionAt - 5*sim.Minute) // before the decision
+	at(25 * sim.Minute)           // destination dead, abort not yet observed
+	at(40 * sim.Minute)           // after the abort and re-placement
+	w.eng.Run(decisionAt + cost + sim.Minute)
+
+	migs := w.ctl.Migrations()
+	if len(migs) < 2 {
+		t.Fatalf("%d migrations recorded, want aborted move + re-placement", len(migs))
+	}
+	if m := migs[0]; !m.Failed || m.Failure != "destination_died" ||
+		m.Resolution != "re_placed" || m.CutOver {
+		t.Errorf("first migration = %+v, want failed destination_died/re_placed", m)
+	}
+	if m := migs[1]; !strings.HasPrefix(m.To, "TG-ON") || m.From != "TG-0000" {
+		t.Errorf("re-placement = %+v, want TG-0000 -> fresh TG-ON group", m)
+	}
+	if st := w.ctl.Status(); st.MigrationsAborted != 1 {
+		t.Errorf("aborted = %d, want 1", st.MigrationsAborted)
+	}
+	// The live source absorbed every submit until the re-placement group
+	// (provisioned immediately by this harness's master) took over.
+	for i, db := range routed[:2] {
+		if !strings.HasPrefix(db, "TG-0000") {
+			t.Errorf("submit %d routed to %s, want live source TG-0000", i, db)
+		}
+	}
+	if len(routed) == 3 && !strings.HasPrefix(routed[2], "TG-ON") {
+		t.Errorf("post-abort submit routed to %s, want the fresh TG-ON group", routed[2])
+	}
+	w.ctl.Stop()
+	w.eng.RunAll()
+	if got := len(w.dep.Records()); got != 3 {
+		t.Errorf("%d query records, want 3 (no drops)", got)
+	}
+	tn, ok := w.ctl.pl.Tenant("Ta")
+	if !ok || !strings.HasPrefix(tn.Group, "TG-ON") {
+		t.Errorf("Ta placed in %q, want the fresh TG-ON group", tn.Group)
+	}
+}
+
+// TestMigrationSourceDiesPromotes kills the source group mid-drain. The crash
+// watch must promote the destination early — open for serving at
+// promotedSlowdown until the background reload would have finished, full
+// speed after — so the drain remainder routes through degraded serving
+// instead of the dead source.
+func TestMigrationSourceDiesPromotes(t *testing.T) {
+	groups, acts := twoGroups()
+	w := liveWorld(t, groups, acts, false) // costed migrations
+	w.ctl.Start()
+	w.inject(t, "Ta", win(2))
+
+	decisionAt := 15 * sim.Minute
+	cost := sim.Duration(cluster.LoadTime(100, 2, true))
+	readyAt := decisionAt + cost
+	if cost < 20*sim.Minute {
+		t.Fatalf("load cost %v too small for a mid-drain crash", cost)
+	}
+	w.eng.Schedule(20*sim.Minute, func(sim.Time) { w.killGroup(t, "TG-0000") })
+
+	var routed []string
+	at := func(ts sim.Time) {
+		w.eng.Schedule(ts, func(sim.Time) { routed = append(routed, w.submit(t, "Ta")) })
+	}
+	at(decisionAt - 5*sim.Minute) // drains through the still-live source
+	at(31 * sim.Minute)           // after the promotion at the 30-minute tick
+
+	// Degraded serving holds from promotion until the reload would have
+	// finished.
+	dest, ok := w.dep.Plane().GroupByID("TG-0001")
+	if !ok {
+		t.Fatal("destination group not deployed")
+	}
+	w.eng.Schedule(31*sim.Minute, func(sim.Time) {
+		for _, inst := range dest.Instances {
+			if got := inst.Slowdown(); got != promotedSlowdown {
+				t.Errorf("promoted %s slowdown = %v, want %v", inst.ID(), got, promotedSlowdown)
+			}
+		}
+	})
+	w.eng.Run(readyAt + sim.Minute)
+
+	migs := w.ctl.Migrations()
+	if len(migs) != 1 {
+		t.Fatalf("%d migrations recorded, want 1", len(migs))
+	}
+	if m := migs[0]; !m.CutOver || m.Failed || m.Resolution != "promoted_early" {
+		t.Errorf("migration = %+v, want cut over promoted_early", m)
+	}
+	st := w.ctl.Status()
+	if st.MigrationsPromoted != 1 || st.MigrationsAborted != 0 {
+		t.Errorf("promoted/aborted = %d/%d, want 1/0", st.MigrationsPromoted, st.MigrationsAborted)
+	}
+	if len(routed) != 2 {
+		t.Fatalf("%d of 2 submits succeeded", len(routed))
+	}
+	if !strings.HasPrefix(routed[0], "TG-0000") {
+		t.Errorf("pre-crash submit routed to %s, want source TG-0000", routed[0])
+	}
+	if !strings.HasPrefix(routed[1], "TG-0001") {
+		t.Errorf("post-promotion submit routed to %s, want destination TG-0001", routed[1])
+	}
+	for _, inst := range dest.Instances {
+		if got := inst.Slowdown(); got != 1 {
+			t.Errorf("%s slowdown = %v after readyAt, want 1 (degradation lifted)", inst.ID(), got)
+		}
+	}
+	w.ctl.Stop()
+	w.eng.RunAll()
+	if got := len(w.dep.Records()); got != 2 {
+		t.Errorf("%d query records, want 2 (no drops)", got)
 	}
 }
 

@@ -33,8 +33,14 @@ type override struct {
 	ref tenant.Ref
 }
 
+// noPartner marks a pending slot with no hedged duplicate.
+const noPartner = ^uint64(0)
+
 // pending is one in-flight query's completion context, pooled and addressed
-// by the tag issued at submit time.
+// by the tag issued at submit time. A hedged query occupies two slots: the
+// primary holds the full accounting context, the hedge slot only what is
+// needed to attribute and cancel — both point at each other via partner,
+// and whichever completes first wins and withdraws the other.
 type pending struct {
 	tenantID  string
 	class     *queries.Class
@@ -43,6 +49,9 @@ type pending struct {
 	dbID      string
 	root      *telemetry.Span
 	exec      *telemetry.Span
+	inst      *mppdb.Instance
+	partner   uint64
+	hedge     bool
 }
 
 // GroupRouter routes queries for one tenant-group.
@@ -68,9 +77,25 @@ type GroupRouter struct {
 	freeTags      []uint64
 	scratchStates []tdd.MPPDBStateRef
 	scratchReady  []*mppdb.Instance
+	scratchIdx    []int
 
 	// onResult, when set, observes every completed query.
 	onResult func(monitor.QueryRecord)
+	// onCompletion, when set, observes every real completion with the serving
+	// instance — the gray detector's per-instance latency-profile feed (ref
+	// mode only; cancelled hedge losers never report).
+	onCompletion func(dbID string, res mppdb.Result)
+
+	// Gray-failure response state, indexed parallel to dbs (ref mode only).
+	// A gray-flagged instance still receives its routed queries but each is
+	// hedged to a healthy peer; a quarantined instance is excluded from
+	// routing altogether unless it is the only ready one left.
+	grayOn      []bool
+	quarantined []bool
+	nGray       int
+	nQuar       int
+	hedges      int64
+	hedgeWins   int64
 
 	routed   int64
 	overflow int64 // queries sent to a busy G₀ (Algorithm 1 line 10)
@@ -82,6 +107,8 @@ type GroupRouter struct {
 	mRouted   *telemetry.Counter
 	mOverflow *telemetry.Counter
 	mInflight *telemetry.Gauge
+	mHedged   *telemetry.Counter
+	mHedgeWin *telemetry.Counter
 }
 
 // NewGroup builds a router over the group's A MPPDB instances. dbs[0] is the
@@ -223,6 +250,86 @@ func (r *GroupRouter) SetTelemetry(h *telemetry.Hub) {
 	r.mRouted = h.Registry.Counter("thrifty_router_routed_total", "group", r.group)
 	r.mOverflow = h.Registry.Counter("thrifty_router_overflow_total", "group", r.group)
 	r.mInflight = h.Registry.Gauge("thrifty_router_inflight", "group", r.group)
+	r.mHedged = h.Registry.Counter("thrifty_router_hedged_total", "group", r.group)
+	r.mHedgeWin = h.Registry.Counter("thrifty_router_hedge_peer_wins_total", "group", r.group)
+}
+
+// SetCompletionObserver registers a per-completion observer receiving the
+// serving instance's ID and the raw result — the gray detector's feed.
+// Effective in ref mode only.
+func (r *GroupRouter) SetCompletionObserver(fn func(dbID string, res mppdb.Result)) {
+	r.onCompletion = fn
+}
+
+// ensureGraySlots sizes the gray/quarantine flag slices to the member set.
+func (r *GroupRouter) ensureGraySlots() {
+	for len(r.grayOn) < len(r.dbs) {
+		r.grayOn = append(r.grayOn, false)
+		r.quarantined = append(r.quarantined, false)
+	}
+}
+
+// dbIndex resolves a group instance ID to its position in dbs (-1 if absent).
+func (r *GroupRouter) dbIndex(dbID string) int {
+	for i, db := range r.dbs {
+		if db.ID() == dbID {
+			return i
+		}
+	}
+	return -1
+}
+
+// SetGrayFlag marks (or clears) an instance as confirmed-gray: every query
+// subsequently routed to it is hedged to a healthy peer. Ref mode only (the
+// hedge pairing rides the pooled tag table); no-op otherwise.
+func (r *GroupRouter) SetGrayFlag(dbID string, on bool) {
+	if !r.refMode {
+		return
+	}
+	i := r.dbIndex(dbID)
+	if i < 0 {
+		return
+	}
+	r.ensureGraySlots()
+	if r.grayOn[i] == on {
+		return
+	}
+	r.grayOn[i] = on
+	if on {
+		r.nGray++
+	} else {
+		r.nGray--
+	}
+}
+
+// SetQuarantine excludes (or re-admits) an instance from routing — the drain
+// stage of the gray-response ladder. A quarantined instance still finishes
+// its in-flight queries, and it is re-admitted implicitly if it is the only
+// ready instance left, so queries are never dropped. Ref mode only.
+func (r *GroupRouter) SetQuarantine(dbID string, on bool) {
+	if !r.refMode {
+		return
+	}
+	i := r.dbIndex(dbID)
+	if i < 0 {
+		return
+	}
+	r.ensureGraySlots()
+	if r.quarantined[i] == on {
+		return
+	}
+	r.quarantined[i] = on
+	if on {
+		r.nQuar++
+	} else {
+		r.nQuar--
+	}
+}
+
+// HedgeStats returns how many queries were hedged and how many of those
+// hedges the peer (not the gray instance) won.
+func (r *GroupRouter) HedgeStats() (hedged, peerWins int64) {
+	return r.hedges, r.hedgeWins
 }
 
 // SetOverride directs all future queries of the tenant to a dedicated MPPDB
@@ -317,30 +424,65 @@ func (r *GroupRouter) acquireTag() uint64 {
 
 // completed is the pooled completion handler shared by every group instance:
 // it rebuilds the query record from the tag's pending slot and performs the
-// exact observer sequence of the closure path.
+// exact observer sequence of the closure path. For a hedged query, whichever
+// copy completes first lands here and withdraws its partner before it can
+// report — exactly one QueryFinished per logical query, attributed to the
+// instance that actually won.
 func (r *GroupRouter) completed(res mppdb.Result, tag uint64) {
 	p := &r.pending[tag]
+	winnerDB := p.dbID
+	prim, partnerTag := p, noPartner
+	if p.partner != noPartner {
+		partnerTag = p.partner
+		q := &r.pending[partnerTag]
+		// Cancel the slower copy: no completion fires, no sojourn/completed
+		// telemetry is observed, no double accounting anywhere downstream.
+		if q.inst != nil {
+			q.inst.CancelTagged(partnerTag)
+		}
+		if p.hedge {
+			// The duplicate beat the gray instance — the accounting context
+			// lives on the primary slot.
+			prim = q
+			r.hedgeWins++
+			if r.tel != nil {
+				r.mHedgeWin.Inc()
+			}
+		}
+	}
 	rec := monitor.QueryRecord{
-		Tenant:    p.tenantID,
-		Class:     p.class,
-		Submit:    p.submit,
+		Tenant:    prim.tenantID,
+		Class:     prim.class,
+		Submit:    prim.submit,
 		Finish:    res.Finish,
-		SLATarget: p.slaTarget,
-		MPPDB:     p.dbID,
+		SLATarget: prim.slaTarget,
+		MPPDB:     winnerDB,
 	}
 	if r.tel != nil {
-		p.exec.End()
-		p.root.End()
+		if prim.exec != nil {
+			prim.exec.End()
+			prim.root.End()
+		}
 		r.mInflight.Add(-1)
 	}
-	p.root, p.exec, p.class = nil, nil, nil
-	p.tenantID, p.dbID = "", ""
-	r.freeTags = append(r.freeTags, tag)
+	for _, t := range [2]uint64{tag, partnerTag} {
+		if t == noPartner {
+			continue
+		}
+		s := &r.pending[t]
+		s.root, s.exec, s.class, s.inst = nil, nil, nil, nil
+		s.tenantID, s.dbID = "", ""
+		s.partner, s.hedge = noPartner, false
+		r.freeTags = append(r.freeTags, t)
+	}
 	if r.mon != nil {
 		r.mon.QueryFinished(rec)
 	}
 	if r.onResult != nil {
 		r.onResult(rec)
+	}
+	if r.onCompletion != nil {
+		r.onCompletion(winnerDB, res)
 	}
 }
 
@@ -367,7 +509,7 @@ func (r *GroupRouter) SubmitRef(ref tenant.Ref, class *queries.Class, slaTarget 
 			"group", r.group, "tenant", tn.ID, "class", class.ID)
 		route = r.tel.Tracer.StartChild(root.Context(), "route")
 	}
-	target, targetRef, err := r.pickRef(ref)
+	target, targetRef, targetIdx, err := r.pickRef(ref)
 	if err != nil {
 		if root != nil {
 			route.Annotate("error", err.Error())
@@ -395,10 +537,14 @@ func (r *GroupRouter) SubmitRef(ref tenant.Ref, class *queries.Class, slaTarget 
 	p.dbID = dbID
 	p.root = root
 	p.exec = exec
+	p.inst = target
+	p.partner = noPartner
+	p.hedge = false
 	_, err = target.SubmitTagged(targetRef, class, tag)
 	if err != nil {
-		p.root, p.exec, p.class = nil, nil, nil
+		p.root, p.exec, p.class, p.inst = nil, nil, nil, nil
 		p.tenantID, p.dbID = "", ""
+		p.partner = noPartner
 		r.freeTags = append(r.freeTags, tag)
 		if exec != nil {
 			exec.Annotate("error", err.Error())
@@ -412,12 +558,106 @@ func (r *GroupRouter) SubmitRef(ref tenant.Ref, class *queries.Class, slaTarget 
 	if r.mon != nil {
 		r.mon.QueryStarted(tn.ID)
 	}
+	// Routed to a confirmed-gray instance: duplicate onto a healthy peer.
+	if r.nGray > 0 && targetIdx >= 0 && r.grayOn[targetIdx] {
+		r.hedgeTo(tag, ref, targetIdx)
+	}
 	r.routed++
 	if r.tel != nil {
 		r.mRouted.Inc()
 		r.mInflight.Add(1)
 	}
 	return dbID, nil
+}
+
+// hedgePeer picks the healthiest eligible duplicate target for a hedge away
+// from dbs[exclude]: Ready, not gray, not quarantined, least loaded, ties to
+// the lowest index (deterministic). Returns nil when no peer qualifies.
+func (r *GroupRouter) hedgePeer(exclude int) *mppdb.Instance {
+	var best *mppdb.Instance
+	bestLoad := 0
+	for i, db := range r.dbs {
+		if i == exclude || db.State() != mppdb.Ready {
+			continue
+		}
+		if i < len(r.grayOn) && (r.grayOn[i] || r.quarantined[i]) {
+			continue
+		}
+		if load := db.Running(); best == nil || load < bestLoad {
+			best, bestLoad = db, load
+		}
+	}
+	return best
+}
+
+// hedgeTo duplicates the in-flight query in pending[tag] onto a healthy
+// peer of dbs[grayIdx]. First completion wins; the loser is cancelled.
+func (r *GroupRouter) hedgeTo(tag uint64, ref tenant.Ref, grayIdx int) {
+	peer := r.hedgePeer(grayIdx)
+	if peer == nil {
+		return
+	}
+	ht := r.acquireTag()
+	// acquireTag may grow the pending slice; re-resolve both slots after.
+	h, p := &r.pending[ht], &r.pending[tag]
+	h.tenantID = p.tenantID
+	h.class = p.class
+	h.submit = p.submit
+	h.slaTarget = p.slaTarget
+	h.dbID = peer.ID()
+	h.root, h.exec = nil, nil
+	h.inst = peer
+	h.partner = tag
+	h.hedge = true
+	if _, err := peer.SubmitHedge(ref, p.class, ht); err != nil {
+		h.tenantID, h.dbID, h.class, h.inst = "", "", nil, nil
+		h.partner, h.hedge = noPartner, false
+		r.freeTags = append(r.freeTags, ht)
+		return
+	}
+	p.partner = ht
+	r.hedges++
+	if r.tel != nil {
+		r.mHedged.Inc()
+	}
+}
+
+// HedgeInFlight duplicates every un-hedged in-flight query currently running
+// on the given instance onto healthy peers — invoked by the gray detector at
+// the moment a suspicion is confirmed, so queries already stuck on the slow
+// instance get a second chance too. Returns how many hedges were placed.
+// Ref mode only.
+func (r *GroupRouter) HedgeInFlight(dbID string) int {
+	if !r.refMode {
+		return 0
+	}
+	idx := r.dbIndex(dbID)
+	if idx < 0 {
+		return 0
+	}
+	r.ensureGraySlots()
+	// Collect first: hedging appends pending slots, which may grow the table
+	// mid-iteration.
+	var tags []uint64
+	for tag := range r.pending {
+		p := &r.pending[tag]
+		if p.tenantID != "" && !p.hedge && p.partner == noPartner && p.dbID == dbID {
+			tags = append(tags, uint64(tag))
+		}
+	}
+	n := 0
+	for _, tag := range tags {
+		ref, ok := r.in.Lookup(r.pending[tag].tenantID)
+		if !ok {
+			continue
+		}
+		before := r.pending[tag].partner
+		r.hedgeTo(tag, ref, idx)
+		if r.pending[tag].partner != before {
+			n++
+		}
+	}
+	return n
 }
 
 // submitString is the original string-keyed submit, kept for routers whose
@@ -497,31 +737,51 @@ func (r *GroupRouter) submitString(tenantID string, class *queries.Class, slaTar
 
 // pickRef chooses the target instance on the ref path: a dedicated override
 // if present, otherwise Algorithm 1 over the group's ready MPPDBs. It also
-// returns the tenant's ref in the *target's* interner namespace.
-func (r *GroupRouter) pickRef(ref tenant.Ref) (*mppdb.Instance, tenant.Ref, error) {
+// returns the tenant's ref in the *target's* interner namespace and the
+// target's position in dbs (-1 for an override instance).
+func (r *GroupRouter) pickRef(ref tenant.Ref) (*mppdb.Instance, tenant.Ref, int, error) {
 	if int(ref) < len(r.overByRef) {
 		if o := r.overByRef[ref]; o.db != nil {
-			return o.db, o.ref, nil
+			return o.db, o.ref, -1, nil
 		}
 	}
 	// Only Ready instances participate; a replacement MPPDB still loading
-	// must not receive queries. The scratch slices are reused across
-	// submits — the router is single-threaded under its clock domain.
+	// must not receive queries. Quarantined (draining-gray) instances are
+	// skipped too, unless that would leave nothing to route to — a query is
+	// never dropped for the sake of a quarantine. The scratch slices are
+	// reused across submits — the router is single-threaded under its clock
+	// domain.
 	states := r.scratchStates[:0]
 	ready := r.scratchReady[:0]
-	for _, db := range r.dbs {
-		if db.State() == mppdb.Ready {
+	readyIdx := r.scratchIdx[:0]
+	for i, db := range r.dbs {
+		if db.State() != mppdb.Ready {
+			continue
+		}
+		if r.nQuar > 0 && i < len(r.quarantined) && r.quarantined[i] {
+			continue
+		}
+		states = append(states, db)
+		ready = append(ready, db)
+		readyIdx = append(readyIdx, i)
+	}
+	if len(ready) == 0 && r.nQuar > 0 {
+		for i, db := range r.dbs {
+			if db.State() != mppdb.Ready {
+				continue
+			}
 			states = append(states, db)
 			ready = append(ready, db)
+			readyIdx = append(readyIdx, i)
 		}
 	}
-	r.scratchStates, r.scratchReady = states, ready
+	r.scratchStates, r.scratchReady, r.scratchIdx = states, ready, readyIdx
 	if len(ready) == 0 {
-		return nil, tenant.NoRef, fmt.Errorf("router: group %s has no ready MPPDB", r.group)
+		return nil, tenant.NoRef, -1, fmt.Errorf("router: group %s has no ready MPPDB", r.group)
 	}
 	idx, err := tdd.RouteRef(ref, states)
 	if err != nil {
-		return nil, tenant.NoRef, err
+		return nil, tenant.NoRef, -1, err
 	}
 	// Detect the overflow path: the chosen MPPDB is busy with other
 	// tenants' queries (concurrent processing on G₀).
@@ -532,7 +792,7 @@ func (r *GroupRouter) pickRef(ref tenant.Ref) (*mppdb.Instance, tenant.Ref, erro
 			r.mOverflow.Inc()
 		}
 	}
-	return chosen, ref, nil
+	return chosen, ref, readyIdx[idx], nil
 }
 
 // pick chooses the target instance: a dedicated override if present,

@@ -39,6 +39,7 @@ import (
 	"repro/internal/monitor"
 	"repro/internal/online"
 	"repro/internal/queries"
+	"repro/internal/recovery"
 	"repro/internal/runtime"
 	"repro/internal/sim"
 	"repro/internal/sqlmatch"
@@ -183,6 +184,7 @@ func New(dep *master.Deployment, cat *queries.Catalog,
 	s.mux.HandleFunc("GET /v1/events", s.handleEvents)
 	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	s.mux.HandleFunc("GET /v1/admission", s.handleAdmission)
+	s.mux.HandleFunc("GET /v1/recovery", s.handleRecovery)
 	s.mux.HandleFunc("GET /v1/online", s.handleOnline)
 	s.mux.HandleFunc("GET /v1/reconsolidation", s.handleReconsolidation)
 	if !cfg.DisableMetrics {
@@ -757,6 +759,71 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"enabled": len(groups) > 0,
 		"groups":  groups,
+	})
+}
+
+// recoveryGroup is one group's failure-resilience snapshot for
+// GET /v1/recovery.
+type recoveryGroup struct {
+	Group       string               `json:"group"`
+	CrashEvents []recovery.Event     `json:"crash_events"`
+	CrashActive int                  `json:"crash_in_progress"`
+	GrayEvents  []recovery.GrayEvent `json:"gray_events"`
+	GrayActive  int                  `json:"gray_in_progress"`
+	Hedged      int64                `json:"hedged"`
+	HedgeWins   int64                `json:"hedge_peer_wins"`
+}
+
+// handleRecovery reports the deployment's failure-resilience state: per-group
+// crash-recovery events (node loss → replacement), gray fail-slow episodes
+// with their hedge → drain ladder outcomes, the router's hedge tallies, and
+// any in-flight or failed live migrations. Each group's state is read under
+// its clock domain, advanced to now so due detector beats have fired.
+func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
+	t := s.target()
+	s.topo.RLock()
+	armed := false
+	groups := make([]recoveryGroup, 0)
+	for _, g := range s.dep.Groups() {
+		rg := recoveryGroup{
+			Group:       g.Plan.ID,
+			CrashEvents: []recovery.Event{},
+			GrayEvents:  []recovery.GrayEvent{},
+		}
+		g.Domain().Advance(t, func(*sim.Engine) {
+			if g.Recovery != nil {
+				armed = true
+				rg.CrashEvents = g.Recovery.Events()
+				rg.CrashActive = g.Recovery.InProgress()
+			}
+			if g.Gray != nil {
+				armed = true
+				rg.GrayEvents = g.Gray.Events()
+				rg.GrayActive = g.Gray.InProgress()
+			}
+			rg.Hedged, rg.HedgeWins = g.Router.HedgeStats()
+		})
+		groups = append(groups, rg)
+	}
+	s.topo.RUnlock()
+
+	// In-flight and failed migrations, when the online loop is attached —
+	// the crash watchers' abort/promotion outcomes surface here.
+	s.onlineMu.Lock()
+	ctl := s.online
+	s.onlineMu.Unlock()
+	migs := []online.Migration{}
+	if ctl != nil {
+		for _, m := range ctl.Migrations() {
+			if m.Failed || m.Resolution != "" || !m.CutOver {
+				migs = append(migs, m)
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"enabled":    armed,
+		"groups":     groups,
+		"migrations": migs,
 	})
 }
 

@@ -84,6 +84,28 @@ const (
 	// EventGroupRetired: a drained source group released its nodes back to
 	// the pool after its post-cutover drain slack.
 	EventGroupRetired EventType = "group_retired"
+	// EventGraySuspected: an instance's completion-latency profile drifted
+	// above its group peers' — a fail-slow (gray) fault is suspected but not
+	// yet confirmed.
+	EventGraySuspected EventType = "gray_suspected"
+	// EventGrayConfirmed: the suspicion persisted across consecutive
+	// evaluations; hedged re-routing engages for the instance.
+	EventGrayConfirmed EventType = "gray_confirmed"
+	// EventGrayCleared: a suspected/confirmed-gray instance returned to its
+	// peers' latency profile (or its drain-replacement restored full speed).
+	EventGrayCleared EventType = "gray_cleared"
+	// EventGrayDrain: the response ladder escalated past hedging — the gray
+	// instance is proactively drained and its slow node replaced through the
+	// crash-recovery controller.
+	EventGrayDrain EventType = "gray_drain"
+	// EventMigrationAborted: a live migration's destination died during the
+	// background reload; the migration was aborted cleanly and the tenants
+	// re-placed.
+	EventMigrationAborted EventType = "migration_aborted"
+	// EventMigrationPromoted: a live migration's source died during the
+	// drain; the destination was promoted early and serves degraded until its
+	// originally costed reload would have finished.
+	EventMigrationPromoted EventType = "migration_promoted"
 )
 
 // Event is one occurrence on the SLA timeline.

@@ -204,6 +204,13 @@ type DeployOptions struct {
 	// config's Headroom. Nil leaves groups ungoverned (byte-identical
 	// replay).
 	Admission *AdmissionConfig
+	// Gray arms a fail-slow (gray-failure) detector per tenant-group:
+	// peer-relative completion-latency anomaly detection driving a hedge →
+	// drain-and-replace response ladder. Setting it with a nil Recovery
+	// auto-arms the default recovery controller — the drain rung replaces
+	// the slow node through it. Nil disables detection (byte-identical
+	// replay).
+	Gray *GrayConfig
 }
 
 // Deploy brings the plan up on a fresh simulated cluster.
@@ -225,6 +232,7 @@ func Deploy(w *Workload, plan *Plan, opts DeployOptions) (*System, error) {
 		Sharded:       opts.Sharded,
 		Recovery:      opts.Recovery,
 		Admission:     opts.Admission,
+		Gray:          opts.Gray,
 	})
 	dep, err := m.Deploy(plan, w.Tenants())
 	if err != nil {
@@ -254,6 +262,16 @@ type RecoveryConfig = recovery.Config
 // DefaultRecoveryConfig returns 30 s heartbeats and 5 acquisition attempts
 // backing off 1→16 min with an hour between cycles.
 func DefaultRecoveryConfig() RecoveryConfig { return recovery.DefaultConfig() }
+
+// GrayConfig re-exports the fail-slow detector configuration (beat
+// interval, peer-relative suspicion thresholds, confirm/clear beats, drain
+// timing, flap strike-out).
+type GrayConfig = recovery.GrayConfig
+
+// DefaultGrayConfig returns 1 min beats, a 1.5× peer-median suspicion
+// threshold, 3 confirm / 2 clear beats, a 10 min hedge-first grace before
+// drain, and a 3-strike flap cutoff.
+func DefaultGrayConfig() GrayConfig { return recovery.DefaultGrayConfig() }
 
 // AdmissionConfig re-exports the overload-protection configuration
 // (per-tenant contracts, queue bound, deadline factor, brownout
