@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos-smoke overload-smoke gray-smoke grouping-smoke online-smoke service-smoke bench bench-grouping bench-online bench-service
+.PHONY: check vet build test race chaos-smoke overload-smoke gray-smoke domain-smoke grouping-smoke online-smoke service-smoke bench bench-grouping bench-online bench-service
 
 # The full pre-commit gate: static checks, build, the bounded chaos,
-# overload, gray-failure, grouping, online and service smokes, and the
-# race-enabled suite.
-check: vet build chaos-smoke overload-smoke gray-smoke grouping-smoke online-smoke service-smoke race
+# overload, gray-failure, domain, grouping, online and service smokes, and
+# the race-enabled suite.
+check: vet build chaos-smoke overload-smoke gray-smoke domain-smoke grouping-smoke online-smoke service-smoke race
 
 vet:
 	$(GO) vet ./...
@@ -37,6 +37,13 @@ overload-smoke:
 # leaves the pool leak-free.
 gray-smoke:
 	$(GO) test -race -short -run TestGraySmoke ./internal/recovery/chaos
+
+# Bounded correlated-failure smoke with the race detector on: a seeded
+# whole-domain outage against a spread-placed, triage-armed deployment,
+# verifying quarantine re-routing, the scarcity triage queue, and
+# restoration re-spread leave zero dropped queries and a leak-free pool.
+domain-smoke:
+	$(GO) test -race -short -run TestDomainSmoke ./internal/recovery/chaos
 
 # Solver-equivalence property tests under the race detector plus a one-shot
 # pass over the solver-scale benchmarks, so a pruning bug or a benchmark

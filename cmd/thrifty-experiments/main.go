@@ -67,6 +67,7 @@ var all = []experiment{
 	}, true},
 	{"chaos", experiments.ChaosRecovery, true},
 	{"grayfail", experiments.GrayFail, true},
+	{"domainfail", experiments.DomainFail, true},
 	{"overload", experiments.OverloadStorm, true},
 	{"drift", experiments.Drift, true},
 	{"ablation", table1(experiments.AblationSolvers), true},

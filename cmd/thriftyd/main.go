@@ -52,6 +52,10 @@ func main() {
 		sharded   = flag.Bool("sharded", true, "per-group clock domains: submits to different tenant-groups proceed in parallel")
 		recovery  = flag.Bool("recovery", true, "arm an autonomous recovery controller per tenant-group (heartbeat failure detection, pool swap, Table 5.1 reload)")
 
+		domains        = flag.Int("domains", 1, "failure domains (racks/zones) the pool is split across; >1 enables spread-aware placement")
+		triageOn       = flag.Bool("triage", false, "arm the cluster-wide scarcity triage: exhausted recoveries queue claims ranked by SLA-at-risk instead of uncoordinated backoff (requires -recovery)")
+		triageInterval = flag.Duration("triage-interval", time.Minute, "virtual-time poll period of queued triage claims")
+
 		onlineOn       = flag.Bool("online", false, "arm continuous online re-consolidation (drift detection, local repair, live migrations); forces a shared clock domain")
 		onlineInterval = flag.Duration("online-interval", 15*time.Minute, "virtual-time control period of the online loop")
 
@@ -107,10 +111,19 @@ func main() {
 		ParallelLoad: true,
 		SpareNodes:   64,
 		Sharded:      *sharded,
+		Domains:      *domains,
 	}
 	if *recovery {
 		rcfg := thrifty.DefaultRecoveryConfig()
 		dopts.Recovery = &rcfg
+	}
+	if *triageOn {
+		if !*recovery {
+			fatal("-triage requires -recovery")
+		}
+		tcfg := thrifty.DefaultTriageConfig()
+		tcfg.Interval = *triageInterval
+		dopts.Triage = &tcfg
 	}
 	if *admissionOn {
 		acfg := thrifty.DefaultAdmissionConfig()

@@ -59,6 +59,14 @@ type Config struct {
 	// T_best candidate scans and solve size classes concurrently. The
 	// partition produced is identical at any worker count.
 	SolverWorkers int
+	// FailureDomains records the failure-domain count of the pool the plan
+	// will deploy onto (racks/zones). The grouping itself is
+	// placement-agnostic — the master's spread-aware acquisition realizes
+	// domain diversity at deploy time — but a plan that knows the domain
+	// count documents the R-vs-domains relationship: with R ≥ 2 replicas
+	// and ≥ 2 domains, spread placement keeps every group available through
+	// any single-domain outage. 0 means unknown/single-domain.
+	FailureDomains int
 }
 
 // DefaultConfig returns the Table 7.1 default parameters.

@@ -57,6 +57,11 @@ type Node struct {
 	// Owner is the ID of the MPPDB instance the node belongs to, or ""
 	// when unassigned.
 	Owner string
+	// Domain is the failure domain (rack/zone) the node lives in. Nodes in
+	// one domain share power and network uplinks, so they fail together;
+	// correlated-failure resilience is placing an instance group's replicas
+	// across ≥2 domains.
+	Domain int
 }
 
 // Pool is the cluster-wide node inventory. It is safe for concurrent use:
@@ -64,21 +69,47 @@ type Node struct {
 // injector draw replacement and scale-up nodes from one shared pool while
 // running on different clock domains.
 type Pool struct {
-	mu    sync.Mutex
-	nodes []*Node
+	mu      sync.Mutex
+	nodes   []*Node
+	domains int
+	down    map[int]bool // failure domains currently offline
 }
 
-// NewPool creates a pool of n hibernated nodes.
-func NewPool(n int) *Pool {
-	p := &Pool{nodes: make([]*Node, n)}
+// NewPool creates a pool of n hibernated nodes in a single failure domain —
+// the pre-domain layout every byte-deterministic replay pins.
+func NewPool(n int) *Pool { return NewPoolDomains(n, 1) }
+
+// NewPoolDomains creates a pool of n hibernated nodes striped over d failure
+// domains as contiguous equal blocks (rack-style: consecutive node IDs share
+// a rack). d is clamped to [1, n].
+func NewPoolDomains(n, d int) *Pool {
+	if d < 1 {
+		d = 1
+	}
+	if d > n && n > 0 {
+		d = n
+	}
+	p := &Pool{nodes: make([]*Node, n), domains: d, down: make(map[int]bool)}
 	for i := range p.nodes {
-		p.nodes[i] = &Node{ID: i, State: Hibernated}
+		p.nodes[i] = &Node{ID: i, State: Hibernated, Domain: i * d / n}
 	}
 	return p
 }
 
 // Size returns the total number of nodes in the pool.
 func (p *Pool) Size() int { return len(p.nodes) }
+
+// Domains returns the number of failure domains the pool is striped over.
+func (p *Pool) Domains() int { return p.domains }
+
+// DomainOf returns the failure domain of the node with the given ID, or -1
+// for an unknown ID.
+func (p *Pool) DomainOf(id int) int {
+	if id < 0 || id >= len(p.nodes) {
+		return -1
+	}
+	return p.nodes[id].Domain
+}
 
 // CountState returns the number of nodes in the given state.
 func (p *Pool) CountState(s NodeState) int {
@@ -101,13 +132,17 @@ func (p *Pool) Acquire(owner string, n int) ([]*Node, error) {
 	return p.acquireLocked(owner, n)
 }
 
+// acquireLocked is the shared acquisition core. It collects candidates
+// first and mutates only once n are found, so a failed acquire — like a
+// failed Replace — leaves the pool untouched (no partial acquisition).
+// Nodes in a down failure domain are never handed out.
 func (p *Pool) acquireLocked(owner string, n int) ([]*Node, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("cluster: acquire of %d nodes", n)
 	}
 	var free []*Node
 	for _, nd := range p.nodes {
-		if nd.State == Hibernated {
+		if nd.State == Hibernated && !p.down[nd.Domain] {
 			free = append(free, nd)
 			if len(free) == n {
 				break
@@ -122,6 +157,85 @@ func (p *Pool) acquireLocked(owner string, n int) ([]*Node, error) {
 		nd.Owner = owner
 	}
 	return free, nil
+}
+
+// AcquireSpread marks n hibernated nodes Active for owner with a spread
+// preference: it tries to place all n inside one up failure domain that is
+// not in avoid (the domains the owner's sibling instances already occupy),
+// choosing the domain with the most free nodes (ties to the lowest index).
+// When no avoided-free domain can host n whole, it falls back to any single
+// up domain, and finally to a plain cross-domain acquire — capacity beats
+// spread purity. Like Acquire, a failure leaves no side effects. It returns
+// the nodes plus the sorted distinct domains they landed in.
+func (p *Pool) AcquireSpread(owner string, n int, avoid []int) ([]*Node, []int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("cluster: acquire of %d nodes", n)
+	}
+	avoided := make(map[int]bool, len(avoid))
+	for _, d := range avoid {
+		avoided[d] = true
+	}
+	freeBy := make([]int, p.domains)
+	for _, nd := range p.nodes {
+		if nd.State == Hibernated && !p.down[nd.Domain] {
+			freeBy[nd.Domain]++
+		}
+	}
+	pick := func(skipAvoided bool) int {
+		best, bestFree := -1, 0
+		for d := 0; d < p.domains; d++ {
+			if skipAvoided && avoided[d] {
+				continue
+			}
+			if freeBy[d] >= n && freeBy[d] > bestFree {
+				best, bestFree = d, freeBy[d]
+			}
+		}
+		return best
+	}
+	dom := pick(true)
+	if dom < 0 {
+		dom = pick(false)
+	}
+	if dom < 0 {
+		// No single domain fits; spread the instance itself across domains
+		// rather than refuse (the fallback keeps deployments working on a
+		// fragmented pool).
+		nodes, err := p.acquireLocked(owner, n)
+		if err != nil {
+			return nil, nil, err
+		}
+		return nodes, distinctDomains(nodes), nil
+	}
+	free := make([]*Node, 0, n)
+	for _, nd := range p.nodes {
+		if nd.Domain == dom && nd.State == Hibernated {
+			free = append(free, nd)
+			if len(free) == n {
+				break
+			}
+		}
+	}
+	for _, nd := range free {
+		nd.State = Active
+		nd.Owner = owner
+	}
+	return free, []int{dom}, nil
+}
+
+func distinctDomains(nodes []*Node) []int {
+	seen := map[int]bool{}
+	for _, nd := range nodes {
+		seen[nd.Domain] = true
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
 }
 
 // Release returns all of owner's nodes to the hibernated state and reports
@@ -223,6 +337,249 @@ func (p *Pool) FailAny(owner string) (int, error) {
 		}
 	}
 	return -1, fmt.Errorf("cluster: owner %q has no active node", owner)
+}
+
+// Casualty is one node a domain outage took down: the node's ID and the
+// MPPDB instance that owned it (so the injector/operator can propagate the
+// failure to the instance).
+type Casualty struct {
+	NodeID int
+	Owner  string
+}
+
+// FailDomain takes a whole failure domain offline: every Active node in the
+// domain goes Failed (returned as casualties, ascending node ID), hibernated
+// and repairing nodes stay in their states but become unacquirable until
+// RestoreDomain. Failing an already-down domain is an error.
+func (p *Pool) FailDomain(d int) ([]Casualty, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d < 0 || d >= p.domains {
+		return nil, fmt.Errorf("cluster: no domain %d (pool has %d)", d, p.domains)
+	}
+	if p.down[d] {
+		return nil, fmt.Errorf("cluster: domain %d already down", d)
+	}
+	p.down[d] = true
+	var out []Casualty
+	for _, nd := range p.nodes {
+		if nd.Domain == d && nd.State == Active {
+			nd.State = Failed
+			out = append(out, Casualty{NodeID: nd.ID, Owner: nd.Owner})
+		}
+	}
+	return out, nil
+}
+
+// RestoreDomain brings a failed domain back: its hibernated nodes become
+// acquirable again. Nodes the outage marked Failed stay Failed — a crashed
+// node is re-imaged through the normal Replace/Reimage cycle even after its
+// rack returns.
+func (p *Pool) RestoreDomain(d int) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d < 0 || d >= p.domains {
+		return fmt.Errorf("cluster: no domain %d (pool has %d)", d, p.domains)
+	}
+	if !p.down[d] {
+		return fmt.Errorf("cluster: domain %d is not down", d)
+	}
+	delete(p.down, d)
+	return nil
+}
+
+// DownDomains returns the currently offline failure domains, ascending.
+func (p *Pool) DownDomains() []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]int, 0, len(p.down))
+	for d := range p.down {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Free returns the number of nodes acquirable right now: hibernated and not
+// in a down domain.
+func (p *Pool) Free() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.freeLocked()
+}
+
+func (p *Pool) freeLocked() int {
+	n := 0
+	for _, nd := range p.nodes {
+		if nd.State == Hibernated && !p.down[nd.Domain] {
+			n++
+		}
+	}
+	return n
+}
+
+// OwnerDomains returns the sorted distinct failure domains of owner's
+// active nodes.
+func (p *Pool) OwnerDomains(owner string) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	seen := map[int]bool{}
+	for _, nd := range p.nodes {
+		if nd.State == Active && nd.Owner == owner {
+			seen[nd.Domain] = true
+		}
+	}
+	out := make([]int, 0, len(seen))
+	for d := range seen {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// ActiveNodesOf returns the IDs of owner's active nodes, ascending.
+func (p *Pool) ActiveNodesOf(owner string) []int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []int
+	for _, nd := range p.nodes {
+		if nd.State == Active && nd.Owner == owner {
+			out = append(out, nd.ID)
+		}
+	}
+	return out
+}
+
+// CompleteRespread atomically flips a live cross-domain instance move: the
+// nodes tempOwner staged in the target domain (all of which must still be
+// Active) are adopted under owner, and owner's previous active nodes are
+// released back to the hibernated free list. It returns the released node
+// IDs. On any precondition failure nothing changes — the caller aborts the
+// move by releasing tempOwner instead.
+func (p *Pool) CompleteRespread(owner, tempOwner string) ([]int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	staged := 0
+	for _, nd := range p.nodes {
+		if nd.Owner != tempOwner {
+			continue
+		}
+		if nd.State != Active {
+			return nil, fmt.Errorf("cluster: staged node %d is %v, not active", nd.ID, nd.State)
+		}
+		staged++
+	}
+	if staged == 0 {
+		return nil, fmt.Errorf("cluster: no staged nodes for %q", tempOwner)
+	}
+	var released []int
+	for _, nd := range p.nodes {
+		switch {
+		case nd.Owner == tempOwner:
+			nd.Owner = owner
+		case nd.Owner == owner && nd.State == Active:
+			nd.State = Hibernated
+			nd.Owner = ""
+			released = append(released, nd.ID)
+		}
+	}
+	return released, nil
+}
+
+// OwnerPoolState summarizes one instance's pool footprint.
+type OwnerPoolState struct {
+	Owner   string `json:"owner"`
+	Active  int    `json:"active"`
+	Failed  int    `json:"failed"`
+	Domains []int  `json:"domains"`
+}
+
+// DomainPoolState summarizes one failure domain.
+type DomainPoolState struct {
+	Domain     int  `json:"domain"`
+	Down       bool `json:"down"`
+	Hibernated int  `json:"hibernated"`
+	Active     int  `json:"active"`
+	Failed     int  `json:"failed"`
+	Repairing  int  `json:"repairing"`
+}
+
+// PoolSnapshot is a consistent point-in-time view of the pool for
+// observability endpoints.
+type PoolSnapshot struct {
+	Total    int               `json:"total"`
+	Domains  int               `json:"domains"`
+	Down     []int             `json:"down_domains,omitempty"`
+	ByState  map[string]int    `json:"by_state"`
+	ByDomain []DomainPoolState `json:"by_domain"`
+	ByOwner  []OwnerPoolState  `json:"by_owner"`
+}
+
+// Snapshot returns the pool's current state: totals by node state, the
+// per-domain breakdown (with down markers), and the per-owner footprint
+// sorted by owner ID.
+func (p *Pool) Snapshot() PoolSnapshot {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	snap := PoolSnapshot{
+		Total:    len(p.nodes),
+		Domains:  p.domains,
+		ByState:  map[string]int{},
+		ByDomain: make([]DomainPoolState, p.domains),
+	}
+	for d := range snap.ByDomain {
+		snap.ByDomain[d] = DomainPoolState{Domain: d, Down: p.down[d]}
+	}
+	for d := range p.down {
+		snap.Down = append(snap.Down, d)
+	}
+	sort.Ints(snap.Down)
+	owners := map[string]*OwnerPoolState{}
+	ownerDoms := map[string]map[int]bool{}
+	for _, nd := range p.nodes {
+		snap.ByState[nd.State.String()]++
+		ds := &snap.ByDomain[nd.Domain]
+		switch nd.State {
+		case Hibernated:
+			ds.Hibernated++
+		case Active:
+			ds.Active++
+		case Failed:
+			ds.Failed++
+		case Repairing:
+			ds.Repairing++
+		}
+		if nd.Owner == "" {
+			continue
+		}
+		o := owners[nd.Owner]
+		if o == nil {
+			o = &OwnerPoolState{Owner: nd.Owner}
+			owners[nd.Owner] = o
+			ownerDoms[nd.Owner] = map[int]bool{}
+		}
+		switch nd.State {
+		case Active:
+			o.Active++
+			ownerDoms[nd.Owner][nd.Domain] = true
+		case Failed:
+			o.Failed++
+		}
+	}
+	names := make([]string, 0, len(owners))
+	for name := range owners {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		o := owners[name]
+		for d := range ownerDoms[name] {
+			o.Domains = append(o.Domains, d)
+		}
+		sort.Ints(o.Domains)
+		snap.ByOwner = append(snap.ByOwner, *o)
+	}
+	return snap
 }
 
 // Owners returns the distinct owner IDs with at least one active node,

@@ -66,6 +66,19 @@ type Options struct {
 	// controller, so a nil Recovery is auto-armed with recovery.DefaultConfig.
 	// Strictly opt-in, like Admission.
 	Gray *recovery.GrayConfig
+	// NoSpread disables domain-aware spread placement. By default a group
+	// deployed on a multi-domain pool lands its instances on ≥2 failure
+	// domains when capacity allows (each instance whole within one domain,
+	// siblings avoiding each other's); single-domain pools are unaffected,
+	// so every pre-domain replay stays byte-identical.
+	NoSpread bool
+	// Triage, when non-nil, arms the cluster-wide scarcity triage: one
+	// allocator per deployment, shared by every group's recovery controller.
+	// On pool exhaustion lifecycles queue ranked by SLA-at-risk (sliding
+	// RT-TTP deficit × tenant count) instead of burning backoff cycles, and
+	// scarce nodes go to the worst-off group first. Needs Recovery (or Gray,
+	// which auto-arms it).
+	Triage *recovery.TriageConfig
 }
 
 // DefaultOptions returns the thesis' run-time settings.
@@ -78,10 +91,11 @@ type DeployedGroup = runtime.GroupRuntime
 
 // Deployment is a live MPPDBaaS deployment.
 type Deployment struct {
-	eng   *sim.Engine // shared-mode engine; unused by groups when sharded
-	pool  *cluster.Pool
-	plane *runtime.Plane
-	dom   *sim.Domain // shared-mode domain; nil when sharded
+	eng    *sim.Engine // shared-mode engine; unused by groups when sharded
+	pool   *cluster.Pool
+	plane  *runtime.Plane
+	dom    *sim.Domain // shared-mode domain; nil when sharded
+	triage *recovery.Triage
 
 	mu    sync.Mutex
 	ready map[string]sim.Time
@@ -140,8 +154,11 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 		dom:   shared,
 		ready: make(map[string]sim.Time),
 	}
+	if m.opts.Triage != nil {
+		dep.triage = recovery.NewTriage(m.pool, *m.opts.Triage)
+	}
 	for gi, pg := range plan.Groups {
-		g, readyAt, err := m.buildGroup(engines[gi], domains[gi], tel, pg, plan.Config.P, tenants)
+		g, readyAt, err := m.buildGroup(engines[gi], domains[gi], tel, dep.triage, pg, plan.Config.P, tenants)
 		if err != nil {
 			return nil, err
 		}
@@ -152,10 +169,11 @@ func (m *Master) Deploy(plan *advisor.Plan, tenants map[string]*tenant.Tenant) (
 }
 
 // buildGroup constructs one tenant-group on the given engine and domain:
-// node acquisition, MPPDB instances with every member bulk-loaded,
-// provisioning delays (Table 5.1 startup + load) unless Immediate, monitor,
-// router, and the optional recovery and admission controllers.
-func (m *Master) buildGroup(eng *sim.Engine, dom *sim.Domain, tel *telemetry.Hub,
+// node acquisition (spread across failure domains on a multi-domain pool),
+// MPPDB instances with every member bulk-loaded, provisioning delays
+// (Table 5.1 startup + load) unless Immediate, monitor, router, and the
+// optional recovery and admission controllers.
+func (m *Master) buildGroup(eng *sim.Engine, dom *sim.Domain, tel *telemetry.Hub, tri *recovery.Triage,
 	pg advisor.PlannedGroup, p float64, tenants map[string]*tenant.Tenant) (*DeployedGroup, sim.Time, error) {
 	members := make([]*tenant.Tenant, 0, len(pg.TenantIDs))
 	var groupGB float64
@@ -172,6 +190,13 @@ func (m *Master) buildGroup(eng *sim.Engine, dom *sim.Domain, tel *telemetry.Hub
 	// router and admission controller): tenant refs resolved once at the
 	// front door stay valid across the whole group.
 	interner := tenant.NewInterner()
+	// On a multi-domain pool, spread the group's replicas: each instance
+	// lands whole in one failure domain, siblings avoid the domains already
+	// used, so the group survives losing any single domain when capacity
+	// allows. Single-domain pools take the classic lowest-ID scan, keeping
+	// pre-domain replays byte-identical.
+	spread := m.pool.Domains() > 1 && !m.opts.NoSpread
+	var usedDomains []int
 	var readyAt sim.Time
 	for i := 0; i < pg.Design.A; i++ {
 		nodes, err := pg.Design.GroupNodes(i)
@@ -179,7 +204,13 @@ func (m *Master) buildGroup(eng *sim.Engine, dom *sim.Domain, tel *telemetry.Hub
 			return nil, 0, err
 		}
 		id := fmt.Sprintf("%s-db%d", pg.ID, i)
-		if _, err := m.pool.Acquire(id, nodes); err != nil {
+		if spread {
+			_, doms, err := m.pool.AcquireSpread(id, nodes, usedDomains)
+			if err != nil {
+				return nil, 0, fmt.Errorf("master: group %s: %w", pg.ID, err)
+			}
+			usedDomains = append(usedDomains, doms...)
+		} else if _, err := m.pool.Acquire(id, nodes); err != nil {
 			return nil, 0, fmt.Errorf("master: group %s: %w", pg.ID, err)
 		}
 		inst := mppdb.NewInterned(eng, id, nodes, interner)
@@ -225,6 +256,25 @@ func (m *Master) buildGroup(eng *sim.Engine, dom *sim.Domain, tel *telemetry.Hub
 			return nil, 0, err
 		}
 		rc.SetTelemetry(tel)
+		if tri != nil {
+			// SLA-at-risk priority for the scarcity triage ladder: sliding
+			// RT-TTP deficit below the guarantee × the group's blast radius.
+			rc.SetTriage(tri, func() (float64, int) {
+				d := p - mon.RTTTP()
+				if d < 0 {
+					d = 0
+				}
+				return d, len(members)
+			})
+		}
+		if m.pool.Domains() > 1 {
+			// Lets the controller pull a fully-dead instance out of routing
+			// during a domain outage and re-admit it once repaired.
+			rc.SetQuarantine(rt.SetQuarantine)
+		}
+		if spread {
+			rc.SetRespread(recovery.RespreadConfig{ParallelLoad: m.opts.ParallelLoad})
+		}
 		rc.Start()
 		g.Recovery = rc
 	}
@@ -275,7 +325,7 @@ func (m *Master) DeployGroup(dep *Deployment, pg advisor.PlannedGroup, p float64
 		dom = sim.NewDomain(eng)
 	}
 	tel := dep.plane.Hub()
-	g, readyAt, err := m.buildGroup(eng, dom, tel, pg, p, tenants)
+	g, readyAt, err := m.buildGroup(eng, dom, tel, dep.triage, pg, p, tenants)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -311,6 +361,10 @@ func (d *Deployment) Plane() *runtime.Plane { return d.plane }
 
 // Sharded reports whether groups run on private clock domains.
 func (d *Deployment) Sharded() bool { return d.plane.Sharded() }
+
+// Triage returns the cluster-wide scarcity allocator (nil unless deployed
+// with Options.Triage).
+func (d *Deployment) Triage() *recovery.Triage { return d.triage }
 
 // Telemetry returns the deployment's telemetry hub (never nil after Deploy).
 func (d *Deployment) Telemetry() *telemetry.Hub { return d.plane.Hub() }

@@ -49,6 +49,11 @@ type Config struct {
 	MaxBackoff time.Duration
 	// CoolDown is the rest between exhausted attempt cycles.
 	CoolDown time.Duration
+	// ParallelReload re-replicates a replacement node's shard from the
+	// instance's surviving peers in parallel streams instead of one loader
+	// stream (the same Table 5.1 parallel-load modeling provisioning and
+	// re-spread use). Off by default: the classic single-stream reload.
+	ParallelReload bool
 }
 
 // DefaultConfig returns the controller's standard settings: 30 s heartbeats,
@@ -96,6 +101,18 @@ type Event struct {
 	ReplacementNode int
 	// Err is the most recent acquisition error, cleared on success.
 	Err string
+	// Backoff is the currently armed retry backoff (zero once replaced or
+	// while cooling down / queued in triage).
+	Backoff time.Duration
+	// NextAttemptAt is when the next acquisition attempt or triage poll
+	// fires (zero once replaced).
+	NextAttemptAt sim.Time
+	// CoolingUntil is the end of the current post-exhaustion rest (zero
+	// outside a cool-down).
+	CoolingUntil sim.Time
+	// Triaged marks a lifecycle that waited in the cluster scarcity triage
+	// queue instead of the backoff cycle.
+	Triaged bool
 }
 
 // Recovered reports whether the lifecycle ran to completion.
@@ -113,8 +130,34 @@ type Controller struct {
 	cfg   Config
 
 	pending map[string]int // instance ID → recoveries in flight
-	events  []*Event
-	started bool
+	// awaitingSwap counts pending lifecycles that have not yet consumed a
+	// pool-side Failed record (pre-swap: backing off, queued in triage, or
+	// about to fall back to a plain acquire). sweep needs the split: a
+	// lifecycle that is mid-reload has already Replaced its pool record, so
+	// a fresh pool failure appearing while it reloads — a domain outage
+	// killing the very replacement it installed — is new work even though
+	// pending already "covers" the instance-side count.
+	awaitingSwap map[string]int
+	events       []*Event
+	started      bool
+
+	// Scarcity triage (nil = classic backoff free-for-all). prio supplies
+	// the group's live SLA-at-risk inputs; claimSeq makes claim keys unique
+	// per lifecycle.
+	triage   *Triage
+	prio     func() (deficit float64, tenants int)
+	claimSeq int
+
+	// quarantine, when set, gates an instance in/out of routing: the domain
+	// injector flags instances whose every node died, and finish lifts the
+	// flag once the last failed node is repaired.
+	quarantine func(instID string, on bool)
+
+	// respread, when armed, re-spreads the group across failure domains
+	// after a collapse (see respread.go).
+	respread         *respreadState
+	respreadInFlight bool
+	respreads        int
 
 	tel        *telemetry.Hub
 	mStarted   *telemetry.Counter
@@ -135,12 +178,13 @@ func New(eng *sim.Engine, pool *cluster.Pool, group string,
 		return nil, fmt.Errorf("recovery: group %q needs an engine, a pool, and instances", group)
 	}
 	return &Controller{
-		eng:     eng,
-		pool:    pool,
-		group:   group,
-		insts:   insts,
-		cfg:     cfg,
-		pending: make(map[string]int),
+		eng:          eng,
+		pool:         pool,
+		group:        group,
+		insts:        insts,
+		cfg:          cfg,
+		pending:      make(map[string]int),
+		awaitingSwap: make(map[string]int),
 	}, nil
 }
 
@@ -159,6 +203,24 @@ func (c *Controller) SetTelemetry(h *telemetry.Hub) {
 		[]float64{300, 600, 1200, 1800, 2700, 3600, 7200, 14400, 28800}, "group", c.group)
 }
 
+// SetTriage arms the cluster-wide scarcity triage: when replacement
+// acquisition hits pool exhaustion the lifecycle enqueues a claim ranked by
+// prio (sliding RT-TTP deficit, tenant count) instead of burning backoff
+// retry cycles. Call before Start; a nil triage keeps the classic backoff.
+func (c *Controller) SetTriage(t *Triage, prio func() (float64, int)) {
+	c.triage = t
+	if prio == nil {
+		prio = func() (float64, int) { return 0, 0 }
+	}
+	c.prio = prio
+}
+
+// SetQuarantine attaches a routing gate (router.SetQuarantine): the domain
+// injector flags instances whose nodes all died so new queries route to
+// surviving replicas, and finish clears the flag once the instance's last
+// failed node is repaired.
+func (c *Controller) SetQuarantine(fn func(instID string, on bool)) { c.quarantine = fn }
+
 // Start schedules the periodic heartbeat probes. Idempotent.
 func (c *Controller) Start() {
 	if c.started {
@@ -168,6 +230,7 @@ func (c *Controller) Start() {
 	var beat func(now sim.Time)
 	beat = func(now sim.Time) {
 		c.sweep()
+		c.maybeRespread()
 		c.eng.After(c.cfg.HeartbeatInterval, beat)
 	}
 	c.eng.After(c.cfg.HeartbeatInterval, beat)
@@ -199,11 +262,32 @@ func (c *Controller) Events() []Event {
 	return out
 }
 
-// sweep compares every instance's failed-node count against the recoveries
-// already in flight and begins one lifecycle per unaccounted failure.
+// sweep compares every instance's failure counts against the recoveries
+// already in flight and begins one lifecycle per unaccounted failure. Two
+// counts are reconciled because a domain outage breaks their usual 1:1 pairing:
+//
+//   - instance-side: FailedNodes() minus all pending lifecycles (each pending
+//     lifecycle will RepairNode one failure when its reload finishes). The
+//     instance model caps degradation at nodes-1 (§4.4: the MPPDB stays
+//     online), so when a whole domain dies this count undershoots.
+//   - pool-side: Failed records minus only the pre-swap pending lifecycles
+//     (awaitingSwap) — a mid-reload lifecycle has already Replaced its record,
+//     so it cannot absorb a fresh pool failure. Without this split, an outage
+//     that kills a replacement node mid-reload stays masked until the reload
+//     drains, serializing what should be concurrent recoveries and leaking
+//     Failed nodes past any drain horizon.
+//
+// On crash and gray paths the two expressions are provably equal (every
+// FailNode pairs 1:1 with a pool FailAny and every swap consumes exactly one
+// record), so this is byte-for-byte the old behavior there.
 func (c *Controller) sweep() {
 	for _, inst := range c.insts {
-		for n := inst.FailedNodes() - c.pending[inst.ID()]; n > 0; n-- {
+		id := inst.ID()
+		need := inst.FailedNodes() - c.pending[id]
+		if m := len(c.pool.FailedNodesOf(id)) - c.awaitingSwap[id]; m > need {
+			need = m
+		}
+		for ; need > 0; need-- {
 			c.begin(inst)
 		}
 	}
@@ -212,6 +296,7 @@ func (c *Controller) sweep() {
 // begin opens a recovery lifecycle for one failed node of the instance.
 func (c *Controller) begin(inst *mppdb.Instance) {
 	c.pending[inst.ID()]++
+	c.awaitingSwap[inst.ID()]++
 	ev := &Event{
 		Group:           c.group,
 		MPPDB:           inst.ID(),
@@ -234,16 +319,24 @@ func (c *Controller) begin(inst *mppdb.Instance) {
 	c.attempt(ev, inst, 1, c.cfg.InitialBackoff)
 }
 
-// attempt tries to acquire a replacement node; on pool exhaustion it backs
-// off exponentially, and after MaxAttempts misses rests for CoolDown before
+// attempt tries to acquire a replacement node; on pool exhaustion it hands
+// the lifecycle to the scarcity triage when one is armed, otherwise backs
+// off exponentially and after MaxAttempts misses rests for CoolDown before
 // a fresh cycle.
 func (c *Controller) attempt(ev *Event, inst *mppdb.Instance, try int, backoff time.Duration) {
 	ev.Attempts++
 	failedID, repl, err := c.swap(inst.ID())
 	if err != nil {
 		ev.Err = err.Error()
+		if c.triage != nil {
+			c.enqueueTriage(ev, inst)
+			return
+		}
 		if try >= c.cfg.MaxAttempts {
 			ev.ExhaustedCycles++
+			ev.Backoff = 0
+			ev.CoolingUntil = c.eng.Now().Add(c.cfg.CoolDown)
+			ev.NextAttemptAt = ev.CoolingUntil
 			if c.tel != nil {
 				c.mExhausted.Inc()
 				c.tel.Events.Publish(telemetry.Event{
@@ -255,6 +348,7 @@ func (c *Controller) attempt(ev *Event, inst *mppdb.Instance, try int, backoff t
 				})
 			}
 			c.eng.After(c.cfg.CoolDown, func(sim.Time) {
+				ev.CoolingUntil = 0
 				c.attempt(ev, inst, 1, c.cfg.InitialBackoff)
 			})
 			return
@@ -273,20 +367,85 @@ func (c *Controller) attempt(ev *Event, inst *mppdb.Instance, try int, backoff t
 		if next > c.cfg.MaxBackoff {
 			next = c.cfg.MaxBackoff
 		}
+		ev.Backoff = backoff
+		ev.NextAttemptAt = c.eng.Now().Add(backoff)
 		c.eng.After(backoff, func(sim.Time) {
 			c.attempt(ev, inst, try+1, next)
 		})
 		return
 	}
+	c.replaced(ev, inst, failedID, repl)
+}
+
+// enqueueTriage parks the lifecycle in the cluster scarcity queue and polls
+// on this group's clock until the allocator ranks it inside the free-node
+// budget. No retry cycles are burned while queued: the instance serves
+// degraded behind the brownout/admission machinery.
+func (c *Controller) enqueueTriage(ev *Event, inst *mppdb.Instance) {
+	c.claimSeq++
+	key := fmt.Sprintf("%s#%d", inst.ID(), c.claimSeq)
+	ev.Triaged = true
+	ev.Backoff = 0
+	deficit, tenants := c.prio()
+	c.triage.Enqueue(key, c.group, inst.ID(), deficit, tenants)
+	if c.tel != nil {
+		c.tel.Events.Publish(telemetry.Event{
+			Type:   telemetry.EventTriageEnqueued,
+			Group:  c.group,
+			MPPDB:  inst.ID(),
+			Value:  deficit * float64(tenants),
+			Detail: fmt.Sprintf("pool exhausted; queued for triage (deficit %.4g × %d tenants)", deficit, tenants),
+		})
+	}
+	var poll func(sim.Time)
+	poll = func(sim.Time) {
+		deficit, tenants := c.prio()
+		failedID, repl, ok := c.triage.TryGrant(key, deficit, tenants)
+		if !ok {
+			ev.NextAttemptAt = c.eng.Now().Add(c.triage.Interval())
+			c.eng.After(c.triage.Interval(), poll)
+			return
+		}
+		if failedID >= 0 {
+			id := failedID
+			c.eng.After(cluster.ReimageTime(), func(sim.Time) { _ = c.pool.Reimage(id) })
+		}
+		if c.tel != nil {
+			c.tel.Events.Publish(telemetry.Event{
+				Type:   telemetry.EventTriageGranted,
+				Group:  c.group,
+				MPPDB:  inst.ID(),
+				Value:  float64(repl.ID),
+				Detail: fmt.Sprintf("triage granted node %d after %v queued", repl.ID, c.eng.Now()-ev.Detected),
+			})
+		}
+		c.replaced(ev, inst, failedID, repl)
+	}
+	ev.NextAttemptAt = c.eng.Now().Add(c.triage.Interval())
+	c.eng.After(c.triage.Interval(), poll)
+}
+
+// replaced is the success half of a lifecycle: a replacement node is in
+// hand, Table 5.1 startup + reload run, then finish restores full speed.
+func (c *Controller) replaced(ev *Event, inst *mppdb.Instance, failedID int, repl *cluster.Node) {
+	c.awaitingSwap[inst.ID()]--
 	ev.Err = ""
 	ev.Replaced = c.eng.Now()
 	ev.FailedNode = failedID
 	ev.ReplacementNode = repl.ID
+	ev.Backoff = 0
+	ev.NextAttemptAt = 0
+	ev.CoolingUntil = 0
 	// Table 5.1: start + initialize the one replacement node, then reload
-	// this node's share of the instance's tenant data over a single loader
-	// stream (per-node shard; the surviving nodes keep serving theirs).
+	// this node's share of the instance's tenant data — over a single loader
+	// stream by default (per-node shard; the surviving nodes keep serving
+	// theirs), or re-replicated from the surviving peers in parallel streams
+	// when ParallelReload is armed.
 	share := inst.TenantDataGB() / float64(inst.Nodes())
 	delay := cluster.StartupTime(1) + cluster.LoadTime(share, 1, false)
+	if c.cfg.ParallelReload {
+		delay = cluster.StartupTime(1) + cluster.LoadTime(share, inst.Nodes(), true)
+	}
 	if c.tel != nil {
 		c.tel.Events.Publish(telemetry.Event{
 			Type:   telemetry.EventRecoveryReplaced,
@@ -329,22 +488,32 @@ func (c *Controller) finish(ev *Event, inst *mppdb.Instance) {
 			c.mActive.Add(-1)
 		}
 	}()
-	if err := inst.RepairNode(); err != nil {
-		// Unreachable in normal operation (each lifecycle repairs a failure
-		// it detected); record rather than panic if an operator repaired by
-		// hand meanwhile.
-		ev.Err = err.Error()
-		if c.tel != nil {
-			c.tel.Events.Publish(telemetry.Event{
-				Type:   telemetry.EventRecoveryFailed,
-				Group:  c.group,
-				MPPDB:  inst.ID(),
-				Detail: fmt.Sprintf("repair: %v", err),
-			})
+	if inst.FailedNodes() > 0 {
+		if err := inst.RepairNode(); err != nil {
+			// Unreachable in normal operation (each lifecycle repairs a
+			// failure it detected); record rather than panic if an operator
+			// repaired by hand meanwhile.
+			ev.Err = err.Error()
+			if c.tel != nil {
+				c.tel.Events.Publish(telemetry.Event{
+					Type:   telemetry.EventRecoveryFailed,
+					Group:  c.group,
+					MPPDB:  inst.ID(),
+					Detail: fmt.Sprintf("repair: %v", err),
+				})
+			}
+			return
 		}
-		return
 	}
+	// else: a capacity-only lifecycle — the instance model had already
+	// absorbed its nodes-1 degradation cap when a whole domain died, so
+	// this replacement restores pool capacity without a node to repair.
 	ev.Completed = c.eng.Now()
+	if c.quarantine != nil && inst.FailedNodes() == 0 {
+		// The instance is whole again: lift any routing quarantine a domain
+		// outage imposed while all its nodes were down.
+		c.quarantine(inst.ID(), false)
+	}
 	if c.tel != nil {
 		dur := (ev.Completed - ev.Detected).Seconds()
 		c.mCompleted.Inc()

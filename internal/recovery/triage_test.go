@@ -1,0 +1,129 @@
+package recovery
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+)
+
+func TestTriagePriorityOrdering(t *testing.T) {
+	tr := NewTriage(cluster.NewPool(4), DefaultTriageConfig())
+	tr.Enqueue("k1", "g1", "g1/0", 0.05, 2)  // priority 0.10
+	tr.Enqueue("k2", "g2", "g2/0", 0.02, 10) // priority 0.20
+	tr.Enqueue("k3", "g3", "g3/0", 0.10, 1)  // priority 0.10, fewer tenants than k1
+	tr.Enqueue("k4", "g0", "g0/0", 0, 50)    // guarantee holds: priority 0
+	q := tr.Queued()
+	got := make([]string, len(q))
+	for i, c := range q {
+		got[i] = c.Group
+	}
+	want := []string{"g2", "g1", "g3", "g0"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rank order %v, want %v", got, want)
+		}
+	}
+	if q[0].Priority != 0.2 || q[0].Polls != 0 {
+		t.Fatalf("head claim: %+v", q[0])
+	}
+	// Re-enqueueing refreshes, never double-counts.
+	if tr.Enqueue("k2", "g2", "g2/0", 0.5, 10) {
+		t.Fatalf("refresh reported as a new claim")
+	}
+	if enq, _ := tr.Stats(); enq != 4 {
+		t.Fatalf("enqueued=%d after refresh, want 4", enq)
+	}
+	if tr.Queued()[0].Deficit != 0.5 {
+		t.Fatalf("refresh did not update the deficit")
+	}
+}
+
+func TestTriageGrantBudget(t *testing.T) {
+	// Pool with exactly one free node and two claimants: only the worst-off
+	// claim fits the budget; the other keeps polling.
+	pool := cluster.NewPool(3)
+	if _, err := pool.Acquire("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pool.Acquire("b", 1); err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTriage(pool, DefaultTriageConfig())
+	tr.Enqueue("a", "ga", "a", 0.01, 1)
+	tr.Enqueue("b", "gb", "b", 0.50, 4)
+	if _, _, ok := tr.TryGrant("a", 0.01, 1); ok {
+		t.Fatalf("rank-1 claim granted with a budget of 1")
+	}
+	failedID, repl, ok := tr.TryGrant("b", 0.50, 4)
+	if !ok || repl == nil || failedID != -1 {
+		t.Fatalf("worst-off claim denied: failed=%d repl=%v ok=%v", failedID, repl, ok)
+	}
+	if got := pool.ActiveNodesOf("b"); len(got) != 2 {
+		t.Fatalf("grant did not acquire for b: %v", got)
+	}
+	// The pool is now empty; the survivor stays queued no matter its rank.
+	if _, _, ok := tr.TryGrant("a", 9.0, 9); ok {
+		t.Fatalf("grant from an empty pool")
+	}
+	if q := tr.Queued(); len(q) != 1 || q[0].Polls != 2 {
+		t.Fatalf("queue after grants: %+v", q)
+	}
+	if enq, granted := tr.Stats(); enq != 2 || granted != 1 {
+		t.Fatalf("stats: enqueued=%d granted=%d", enq, granted)
+	}
+}
+
+func TestTriageGrantSwapsFailedNode(t *testing.T) {
+	// When the pool holds a Failed record for the owner, a grant is a swap:
+	// Replace the oldest casualty so the caller can schedule its re-image.
+	pool := cluster.NewPool(3)
+	if _, err := pool.Acquire("a", 2); err != nil {
+		t.Fatal(err)
+	}
+	failed, err := pool.FailAny("a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTriage(pool, DefaultTriageConfig())
+	tr.Enqueue("a", "ga", "a", 0.1, 1)
+	gotFailed, repl, ok := tr.TryGrant("a", 0.1, 1)
+	if !ok || gotFailed != failed || repl == nil {
+		t.Fatalf("swap grant: failed=%d (want %d) repl=%v ok=%v", gotFailed, failed, repl, ok)
+	}
+	if len(pool.FailedNodesOf("a")) != 0 {
+		t.Fatalf("swap left a's failed record behind")
+	}
+	if pool.CountState(cluster.Repairing) != 1 {
+		t.Fatalf("swapped-out node not repairing")
+	}
+	if len(pool.ActiveNodesOf("a")) != 2 {
+		t.Fatalf("a not back to strength: %v", pool.ActiveNodesOf("a"))
+	}
+}
+
+func TestTriageDenyAndAbandon(t *testing.T) {
+	pool := cluster.NewPool(2)
+	tr := NewTriage(pool, DefaultTriageConfig())
+	// Unknown key: denied, nothing granted.
+	if _, _, ok := tr.TryGrant("ghost", 1, 1); ok {
+		t.Fatalf("granted a claim that was never enqueued")
+	}
+	tr.Enqueue("k", "g", "g/0", 0.2, 3)
+	tr.Abandon("k")
+	if q := tr.Queued(); len(q) != 0 {
+		t.Fatalf("abandoned claim still queued: %+v", q)
+	}
+	if _, _, ok := tr.TryGrant("k", 0.2, 3); ok {
+		t.Fatalf("granted an abandoned claim")
+	}
+	if enq, granted := tr.Stats(); enq != 1 || granted != 0 {
+		t.Fatalf("stats: enqueued=%d granted=%d", enq, granted)
+	}
+	if tr.Interval() != DefaultTriageConfig().Interval {
+		t.Fatalf("interval: %v", tr.Interval())
+	}
+	// A zero config falls back to the one-minute default.
+	if NewTriage(pool, TriageConfig{}).Interval() <= 0 {
+		t.Fatalf("zero-config interval not defaulted")
+	}
+}

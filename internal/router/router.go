@@ -326,6 +326,9 @@ func (r *GroupRouter) SetQuarantine(dbID string, on bool) {
 	}
 }
 
+// Quarantined returns how many instances are currently quarantined.
+func (r *GroupRouter) Quarantined() int { return r.nQuar }
+
 // HedgeStats returns how many queries were hedged and how many of those
 // hedges the peer (not the gray instance) won.
 func (r *GroupRouter) HedgeStats() (hedged, peerWins int64) {

@@ -713,6 +713,22 @@ func (p *Plane) GroupByID(id string) (*GroupRuntime, bool) {
 	return nil, false
 }
 
+// InstanceByID resolves an MPPDB instance ID (a pool owner string) to its
+// group and instance — the lookup the correlated-failure injector uses to
+// turn pool casualties back into instance degradations.
+func (p *Plane) InstanceByID(id string) (*GroupRuntime, *mppdb.Instance, bool) {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	for _, g := range p.groups {
+		for _, inst := range g.Instances {
+			if inst.ID() == id {
+				return g, inst, true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
 // ForTenant returns the group hosting the tenant.
 func (p *Plane) ForTenant(id string) (*GroupRuntime, bool) {
 	p.mu.RLock()

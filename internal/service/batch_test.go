@@ -110,14 +110,14 @@ func TestBatchErrorPartitioning(t *testing.T) {
 	q6 := func(id string) SubmitRequest { return SubmitRequest{Tenant: id, Query: "TPCH-Q6"} }
 	var out BatchSubmitResponse
 	code := post(t, ts, "/v1/submit-batch", BatchSubmitRequest{Queries: []SubmitRequest{
-		q6("good"),                    // 202
-		q6("down"),                    // 504: queues, retries, times out
-		q6("agg"),                     // 202: within burst
-		q6("agg"),                     // 202: within burst
-		q6("down"),                    // 503: queue already full
-		q6("agg"),                     // 429: burst exhausted
-		q6("nosuch"),                  // 422: unknown tenant
-		{Tenant: "good"},              // 400: no query or sql
+		q6("good"),       // 202
+		q6("down"),       // 504: queues, retries, times out
+		q6("agg"),        // 202: within burst
+		q6("agg"),        // 202: within burst
+		q6("down"),       // 503: queue already full
+		q6("agg"),        // 429: burst exhausted
+		q6("nosuch"),     // 422: unknown tenant
+		{Tenant: "good"}, // 400: no query or sql
 	}}, &out)
 	if code != http.StatusOK {
 		t.Fatalf("batch status %d, want 200", code)

@@ -4,7 +4,11 @@
 // statistics, completed query records, and scaling events. The deployment's
 // telemetry hub is exposed too: GET /metrics (Prometheus text),
 // GET /v1/events (recent SLA events), and GET /v1/slo (per-tenant SLA
-// attainment against the guarantee P).
+// attainment against the guarantee P). GET /v1/pool snapshots the shared
+// node pool (state counts, per-domain breakdown, per-owner footprint) and
+// GET /v1/recovery the failure-resilience state: crash lifecycles with their
+// retry-cycle positions, gray episodes, quarantines, and the scarcity triage
+// queue.
 //
 // The execution substrate is the virtual-time simulator; the service paces
 // it against the wall clock with a configurable time-scale factor (virtual
@@ -185,6 +189,7 @@ func New(dep *master.Deployment, cat *queries.Catalog,
 	s.mux.HandleFunc("GET /v1/slo", s.handleSLO)
 	s.mux.HandleFunc("GET /v1/admission", s.handleAdmission)
 	s.mux.HandleFunc("GET /v1/recovery", s.handleRecovery)
+	s.mux.HandleFunc("GET /v1/pool", s.handlePool)
 	s.mux.HandleFunc("GET /v1/online", s.handleOnline)
 	s.mux.HandleFunc("GET /v1/reconsolidation", s.handleReconsolidation)
 	if !cfg.DisableMetrics {
@@ -762,8 +767,21 @@ func (s *Server) handleAdmission(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handlePool reports the shared node pool: totals by state, the per-domain
+// breakdown with down markers, and every owner's footprint. Virtual time is
+// advanced first so reimage and recovery transitions due by now have fired.
+func (s *Server) handlePool(w http.ResponseWriter, r *http.Request) {
+	t := s.target()
+	s.topo.RLock()
+	s.dep.Plane().AdvanceAll(t)
+	snap := s.dep.Pool().Snapshot()
+	s.topo.RUnlock()
+	writeJSON(w, http.StatusOK, snap)
+}
+
 // recoveryGroup is one group's failure-resilience snapshot for
-// GET /v1/recovery.
+// GET /v1/recovery. Each crash event carries its retry-cycle state (attempt
+// count, armed backoff, next attempt, cool-down deadline, triaged flag).
 type recoveryGroup struct {
 	Group       string               `json:"group"`
 	CrashEvents []recovery.Event     `json:"crash_events"`
@@ -772,6 +790,14 @@ type recoveryGroup struct {
 	GrayActive  int                  `json:"gray_in_progress"`
 	Hedged      int64                `json:"hedged"`
 	HedgeWins   int64                `json:"hedge_peer_wins"`
+	Quarantined int                  `json:"quarantined"`
+}
+
+// triageStatus is the cluster scarcity allocator's view for GET /v1/recovery.
+type triageStatus struct {
+	Enqueued int                    `json:"enqueued"`
+	Granted  int                    `json:"granted"`
+	Queued   []recovery.TriageClaim `json:"queued"`
 }
 
 // handleRecovery reports the deployment's failure-resilience state: per-group
@@ -802,8 +828,15 @@ func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
 				rg.GrayActive = g.Gray.InProgress()
 			}
 			rg.Hedged, rg.HedgeWins = g.Router.HedgeStats()
+			rg.Quarantined = g.Router.Quarantined()
 		})
 		groups = append(groups, rg)
+	}
+	var tri *triageStatus
+	if tq := s.dep.Triage(); tq != nil {
+		armed = true
+		tri = &triageStatus{Queued: tq.Queued()}
+		tri.Enqueued, tri.Granted = tq.Stats()
 	}
 	s.topo.RUnlock()
 
@@ -820,11 +853,15 @@ func (s *Server) handleRecovery(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"enabled":    armed,
 		"groups":     groups,
 		"migrations": migs,
-	})
+	}
+	if tri != nil {
+		out["triage"] = tri
+	}
+	writeJSON(w, http.StatusOK, out)
 }
 
 // SetOnline attaches the deployment's online re-consolidation loop so

@@ -106,6 +106,23 @@ const (
 	// drain; the destination was promoted early and serves degraded until its
 	// originally costed reload would have finished.
 	EventMigrationPromoted EventType = "migration_promoted"
+	// EventDomainFailed: a whole failure domain (rack/zone) went down; every
+	// active node in it failed at once.
+	EventDomainFailed EventType = "domain_failed"
+	// EventDomainRestored: a failed domain came back; its hibernated nodes
+	// are acquirable again and queued recoveries can drain.
+	EventDomainRestored EventType = "domain_restored"
+	// EventTriageEnqueued: a recovery lifecycle hit pool exhaustion and
+	// entered the cluster-wide scarcity triage queue instead of burning
+	// backoff retry cycles.
+	EventTriageEnqueued EventType = "triage_enqueued"
+	// EventTriageGranted: the triage allocator handed a scarce node to the
+	// queued lifecycle with the highest SLA-at-risk priority.
+	EventTriageGranted EventType = "triage_granted"
+	// EventRespread: a group that collapsed onto a single failure domain
+	// live-migrated one replica onto a restored domain (background startup +
+	// reload, atomic pool flip, zero dropped queries).
+	EventRespread EventType = "domain_respread"
 )
 
 // Event is one occurrence on the SLA timeline.

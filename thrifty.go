@@ -211,6 +211,21 @@ type DeployOptions struct {
 	// the slow node through it. Nil disables detection (byte-identical
 	// replay).
 	Gray *GrayConfig
+	// Domains splits the pool into that many failure domains (racks/zones
+	// that fail together). Values ≤1 keep the classic single-domain pool —
+	// the layout every byte-deterministic replay pins.
+	Domains int
+	// NoSpread keeps the pre-domain first-fit placement even on a
+	// multi-domain pool (an instance may land entirely in one rack). Only
+	// meaningful with Domains > 1; used for A/B-ing correlated-failure
+	// exposure.
+	NoSpread bool
+	// Triage arms the cluster-wide scarcity triage allocator: when the pool
+	// runs dry, exhausted recovery lifecycles queue a claim ranked by
+	// SLA-at-risk (sliding RT-TTP deficit × tenant count) instead of
+	// fighting with uncoordinated backoff. Requires Recovery (or Gray,
+	// which auto-arms it). Nil keeps classic per-group retry cycles.
+	Triage *TriageConfig
 }
 
 // Deploy brings the plan up on a fresh simulated cluster.
@@ -224,7 +239,12 @@ func Deploy(w *Workload, plan *Plan, opts DeployOptions) (*System, error) {
 		opts.Admission = &cfg
 	}
 	eng := sim.NewEngine()
-	pool := cluster.NewPool(plan.NodesUsed() + opts.SpareNodes)
+	var pool *cluster.Pool
+	if opts.Domains > 1 {
+		pool = cluster.NewPoolDomains(plan.NodesUsed()+opts.SpareNodes, opts.Domains)
+	} else {
+		pool = cluster.NewPool(plan.NodesUsed() + opts.SpareNodes)
+	}
 	m := master.New(eng, pool, master.Options{
 		Immediate:     opts.Immediate,
 		ParallelLoad:  opts.ParallelLoad,
@@ -233,6 +253,8 @@ func Deploy(w *Workload, plan *Plan, opts DeployOptions) (*System, error) {
 		Recovery:      opts.Recovery,
 		Admission:     opts.Admission,
 		Gray:          opts.Gray,
+		NoSpread:      opts.NoSpread,
+		Triage:        opts.Triage,
 	})
 	dep, err := m.Deploy(plan, w.Tenants())
 	if err != nil {
@@ -272,6 +294,13 @@ type GrayConfig = recovery.GrayConfig
 // threshold, 3 confirm / 2 clear beats, a 10 min hedge-first grace before
 // drain, and a 3-strike flap cutoff.
 func DefaultGrayConfig() GrayConfig { return recovery.DefaultGrayConfig() }
+
+// TriageConfig re-exports the cluster-wide scarcity triage configuration
+// (claim poll interval).
+type TriageConfig = recovery.TriageConfig
+
+// DefaultTriageConfig returns one-minute claim polls.
+func DefaultTriageConfig() TriageConfig { return recovery.DefaultTriageConfig() }
 
 // AdmissionConfig re-exports the overload-protection configuration
 // (per-tenant contracts, queue bound, deadline factor, brownout

@@ -75,6 +75,54 @@ func TestEndToEndPipeline(t *testing.T) {
 	}
 }
 
+func TestDeployDomainsAndTriage(t *testing.T) {
+	w := smallWorkload(t)
+	cfg := DefaultPlanConfig()
+	cfg.R = 2
+	plan, err := PlanDeployment(w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcfg := DefaultRecoveryConfig()
+	tcfg := DefaultTriageConfig()
+	sys, err := Deploy(w, plan, DeployOptions{
+		Immediate:  true,
+		SpareNodes: 8,
+		Domains:    3,
+		Recovery:   &rcfg,
+		Triage:     &tcfg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sys.Pool.Domains() != 3 {
+		t.Fatalf("pool domains = %d", sys.Pool.Domains())
+	}
+	// Spread placement puts a group's replica instances in different
+	// domains: no replicated group may have all its instances in one rack.
+	for _, g := range sys.Deployment.Groups() {
+		if len(g.Instances) < 2 {
+			continue
+		}
+		span := map[int]bool{}
+		for _, inst := range g.Instances {
+			for _, d := range sys.Pool.OwnerDomains(inst.ID()) {
+				span[d] = true
+			}
+		}
+		if len(span) < 2 {
+			t.Fatalf("group %s collapsed into %d domain(s)", g.Plan.ID, len(span))
+		}
+	}
+	rep, err := sys.Replay(ReplayOptions{From: 0, To: sim.Day})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Submitted == 0 {
+		t.Fatalf("replay did nothing: %+v", rep)
+	}
+}
+
 func TestSystemHandler(t *testing.T) {
 	w := smallWorkload(t)
 	plan, err := PlanDeployment(w, DefaultPlanConfig())
