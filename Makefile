@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race chaos-smoke overload-smoke gray-smoke domain-smoke grouping-smoke online-smoke service-smoke bench bench-grouping bench-online bench-service
+.PHONY: check vet build test race chaos-smoke overload-smoke gray-smoke domain-smoke grouping-smoke online-smoke service-smoke shared-smoke bench bench-grouping bench-online bench-service bench-shareddb
 
 # The full pre-commit gate: static checks, build, the bounded chaos,
-# overload, gray-failure, domain, grouping, online and service smokes, and
-# the race-enabled suite.
-check: vet build chaos-smoke overload-smoke gray-smoke domain-smoke grouping-smoke online-smoke service-smoke race
+# overload, gray-failure, domain, grouping, online, service and shared-work
+# smokes, and the race-enabled suite.
+check: vet build chaos-smoke overload-smoke gray-smoke domain-smoke grouping-smoke online-smoke service-smoke shared-smoke race
 
 vet:
 	$(GO) vet ./...
@@ -58,6 +58,17 @@ grouping-smoke:
 online-smoke:
 	$(GO) test -race -short -run 'TestDriftSmoke|TestOnlineDeterminism' -count=1 ./internal/experiments
 
+# Shared-work execution smoke with the race detector on: the weighted
+# shared-scan executor's unit surface (merge, late-join, degraded, hedge
+# cancel, member cancel), the sharing-aware admission pressure read, and the
+# small-scale experiment end to end — including the off-mode golden-hash
+# equivalence guard (same-seed sharing-OFF replays must reproduce
+# byte-for-byte).
+shared-smoke:
+	$(GO) test -race -run 'TestShared|TestSharing' -count=1 ./internal/mppdb
+	$(GO) test -race -run 'TestBrownoutSharingEffectiveCapacity' -count=1 ./internal/admission
+	$(GO) test -race -short -run 'TestSharingSmoke' -count=1 -timeout 20m ./internal/experiments
+
 bench:
 	$(GO) test -bench=. -benchmem ./...
 
@@ -89,3 +100,12 @@ bench-service:
 # oracle) regress.
 bench-online:
 	BENCH_JSON_OUT=$(CURDIR)/BENCH_online.json $(GO) test -run TestWriteOnlineBenchJSON -count=1 -v ./internal/experiments
+
+# Shared-work executor benchmark run: the submit hot path with and without
+# sharing, the merged batch's virtual-time work ratio against k independent
+# scans, and the full consolidation-vs-attainment experiment outcome.
+# Persists to BENCH_shareddb.json (committed) and fails if the acceptance
+# bars (work ratio (1+(k-1)sigma)/k, hot path within 5x of plain, experiment
+# verdict PASS) regress.
+bench-shareddb:
+	BENCH_JSON_OUT=$(CURDIR)/BENCH_shareddb.json $(GO) test -run TestWriteSharedBenchJSON -count=1 -v -timeout 20m ./internal/experiments

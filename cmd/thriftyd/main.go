@@ -70,6 +70,8 @@ func main() {
 		grayDrainAfter   = flag.Duration("gray-drain-after", 10*time.Minute, "how long a confirmed-gray instance is hedged before it is drained and replaced")
 		grayStrikeDecay  = flag.Duration("gray-strike-decay", 6*time.Hour, "clear stretch after which an instance's strike count is forgotten")
 
+		sharingOn = flag.Bool("sharing", false, "enable shared-work execution: concurrent same-class queries merge into one shared scan per MPPDB, and the advisor packs for the credited capacity")
+
 		submitRetries = flag.Int("submit-retries", 3, "retries of a transiently failed submit before 504 (negative disables)")
 		submitBackoff = flag.Duration("submit-backoff", 30*time.Second, "virtual-time wait between submit attempts")
 		submitTimeout = flag.Duration("submit-timeout", 5*time.Minute, "virtual-time budget per submit before 504")
@@ -92,6 +94,7 @@ func main() {
 	pcfg := thrifty.DefaultPlanConfig()
 	pcfg.R = *r
 	pcfg.P = *p
+	pcfg.Sharing = *sharingOn
 	fmt.Fprintf(os.Stderr, "thriftyd: planning deployment (R=%d, P=%.4g%%)...\n", *r, 100**p)
 	start := time.Now()
 	plan, err := thrifty.PlanDeployment(w, pcfg)
@@ -112,6 +115,7 @@ func main() {
 		SpareNodes:   64,
 		Sharded:      *sharded,
 		Domains:      *domains,
+		Sharing:      *sharingOn,
 	}
 	if *recovery {
 		rcfg := thrifty.DefaultRecoveryConfig()
@@ -172,8 +176,8 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: h}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.ListenAndServe() }()
-	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v, recovery %v, admission %v, gray %v, online %v)\n",
-		*addr, *timeScale, *metrics, *sharded, *recovery, *admissionOn, *grayOn, *onlineOn)
+	fmt.Fprintf(os.Stderr, "thriftyd: serving MPPDBaaS on %s (time scale %g×, metrics %v, sharded %v, recovery %v, admission %v, gray %v, online %v, sharing %v)\n",
+		*addr, *timeScale, *metrics, *sharded, *recovery, *admissionOn, *grayOn, *onlineOn, *sharingOn)
 
 	select {
 	case err := <-errc:

@@ -1,0 +1,74 @@
+package epoch
+
+import (
+	"math"
+	"testing"
+)
+
+// addSpans commits one activity covering [s, e).
+func addSpans(cs *CountSet, s, e int32) {
+	cs.Add(Spans{{S: s, E: e}})
+}
+
+func TestTTPShareDegenerate(t *testing.T) {
+	cs := NewCountSet(100)
+	addSpans(cs, 0, 50)
+	addSpans(cs, 10, 60)
+	addSpans(cs, 20, 70)
+	for r := 0; r <= 3; r++ {
+		if got, want := cs.TTPShare(r, nil), cs.TTP(r); got != want {
+			t.Fatalf("r=%d: nil weights TTPShare %v != TTP %v", r, got, want)
+		}
+		if got, want := cs.TTPShare(r, []float64{0, 0, 0}), cs.TTP(r); got != want {
+			t.Fatalf("r=%d: zero weights TTPShare %v != TTP %v", r, got, want)
+		}
+	}
+}
+
+func TestTTPShareCredit(t *testing.T) {
+	cs := NewCountSet(100)
+	// Counts: [0,10) ×3 tenants? Build: three spans stacked over [0,10),
+	// two over [10,30), one over [30,60).
+	addSpans(cs, 0, 60)
+	addSpans(cs, 0, 30)
+	addSpans(cs, 0, 10)
+	// hist: count3=10, count2=20, count1=30, idle=40.
+	r := 1
+	// Unweighted: 30 epochs over r → TTP = 0.70.
+	if got := cs.TTP(r); got != 0.70 {
+		t.Fatalf("TTP=%v", got)
+	}
+	// Credit 50% at r+1 (count 2), 20% at r+2 (count 3):
+	// over = 20·0.5 + 10·0.8 = 18 → TTPShare = 0.82.
+	got := cs.TTPShare(r, []float64{0.5, 0.2})
+	if math.Abs(got-0.82) > 1e-12 {
+		t.Fatalf("TTPShare=%v want 0.82", got)
+	}
+	// Counts past the weight vector get no credit: weights only at r+1.
+	got = cs.TTPShare(r, []float64{0.5})
+	if math.Abs(got-0.80) > 1e-12 {
+		t.Fatalf("short-weights TTPShare=%v want 0.80", got)
+	}
+}
+
+func TestNewTTPShareMatchesCommit(t *testing.T) {
+	w := []float64{0.4, 0.15, 0.05}
+	cs := NewCountSet(200)
+	addSpans(cs, 0, 120)
+	addSpans(cs, 40, 160)
+	addSpans(cs, 80, 200)
+	cand := Spans{{S: 30, E: 90}, {S: 150, E: 190}}
+	for r := 0; r <= 3; r++ {
+		tr := cs.Preview(cand)
+		pred := cs.NewTTPShare(r, w, tr)
+		clone := cs.Clone()
+		clone.Add(cand)
+		if got := clone.TTPShare(r, w); math.Abs(got-pred) > 1e-12 {
+			t.Fatalf("r=%d: predicted %v committed %v", r, pred, got)
+		}
+		// And the nil-weight path stays NewTTP exactly.
+		if got, want := cs.NewTTPShare(r, nil, tr), cs.NewTTP(r, tr); got != want {
+			t.Fatalf("r=%d: nil weights NewTTPShare %v != NewTTP %v", r, got, want)
+		}
+	}
+}

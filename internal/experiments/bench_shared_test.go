@@ -1,0 +1,212 @@
+package experiments
+
+import (
+	"encoding/json"
+	"math"
+	"os"
+	"testing"
+
+	"repro/internal/mppdb"
+	"repro/internal/queries"
+	"repro/internal/sim"
+)
+
+// sharedBenchFanout is the batch width of one microbench cycle: the number
+// of same-class queries a tenant's action submits back to back (the
+// workload's batch actions average ~2 with a heavy tail; 4 is a
+// representative worst case).
+const sharedBenchFanout = 4
+
+// sharedBenchClass picks a mid-σ scan class so the merged demand is neither
+// trivially the widest scan (σ→0) nor indistinguishable from independent
+// execution (σ→1).
+func sharedBenchClass(tb testing.TB) *queries.Class {
+	tb.Helper()
+	cat := queries.Default()
+	if cl, ok := cat.ByID("TPCH-Q8"); ok {
+		return cl
+	}
+	return cat.Classes()[0]
+}
+
+// benchSubmitCycle measures one executor cycle — sharedBenchFanout tagged
+// same-class submits by one tenant followed by running the engine dry — with
+// shared-work execution on or off. This is the submit hot path the service
+// layer pays per query; the shared path adds a live-batch map probe and the
+// attach bookkeeping and must stay within a small factor of the plain path.
+func benchSubmitCycle(b *testing.B, sharing bool) {
+	cl := sharedBenchClass(b)
+	eng := sim.NewEngine()
+	m := mppdb.New(eng, "bench", 8)
+	m.DeployTenant("T", 800)
+	if sharing {
+		if err := m.SetSharing(true); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ref, ok := m.Interner().Lookup("T")
+	if !ok {
+		b.Fatal("tenant ref not interned")
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	tag := uint64(0)
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < sharedBenchFanout; j++ {
+			tag++
+			if _, err := m.SubmitTagged(ref, cl, tag); err != nil {
+				b.Fatal(err)
+			}
+		}
+		eng.RunAll()
+	}
+}
+
+func BenchmarkSharedSubmitCycle(b *testing.B) { benchSubmitCycle(b, true) }
+func BenchmarkPlainSubmitCycle(b *testing.B)  { benchSubmitCycle(b, false) }
+
+// cycleDemand returns the virtual-time cost of one cycle: how long the
+// instance takes to drain sharedBenchFanout same-instant same-class queries.
+func cycleDemand(tb testing.TB, sharing bool) float64 {
+	cl := sharedBenchClass(tb)
+	eng := sim.NewEngine()
+	m := mppdb.New(eng, "bench", 8)
+	m.DeployTenant("T", 800)
+	if sharing {
+		if err := m.SetSharing(true); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	ref, ok := m.Interner().Lookup("T")
+	if !ok {
+		tb.Fatal("tenant ref not interned")
+	}
+	for j := 0; j < sharedBenchFanout; j++ {
+		if _, err := m.SubmitTagged(ref, cl, uint64(j+1)); err != nil {
+			tb.Fatal(err)
+		}
+	}
+	eng.RunAll()
+	return eng.Now().Seconds()
+}
+
+// SharedBenchRecord is one measurement persisted to BENCH_shareddb.json by
+// `make bench-shareddb`.
+type SharedBenchRecord struct {
+	Name        string `json:"name"`
+	Iterations  int    `json:"iterations,omitempty"`
+	NsPerOp     int64  `json:"ns_per_op,omitempty"`
+	AllocsPerOp int64  `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64  `json:"bytes_per_op,omitempty"`
+
+	// Shared-scan economics of one fanout-k cycle.
+	Class     string  `json:"class,omitempty"`
+	Fanout    int     `json:"fanout,omitempty"`
+	Sigma     float64 `json:"sigma,omitempty"`
+	WorkRatio float64 `json:"work_ratio,omitempty"` // merged demand / k independent scans
+
+	// Experiment outcome: the consolidation the credit buys and the replay
+	// attainment defending it.
+	BareNodes          int     `json:"bare_nodes,omitempty"`
+	SharedNodes        int     `json:"shared_nodes,omitempty"`
+	ConsolidationRatio float64 `json:"consolidation_ratio,omitempty"`
+	BareAttainment     float64 `json:"bare_attainment,omitempty"`
+	SharedAttainment   float64 `json:"shared_attainment,omitempty"`
+	SharedBatches      uint64  `json:"shared_batches,omitempty"`
+	SharedJoins        uint64  `json:"shared_joins,omitempty"`
+	Deterministic      *bool   `json:"deterministic,omitempty"`
+	Verdict            string  `json:"verdict,omitempty"`
+}
+
+// TestWriteSharedBenchJSON measures the shared-work executor's hot-path
+// cost against the plain path, the virtual-time work ratio of a merged
+// batch, and the full sharing experiment's consolidation-vs-attainment
+// outcome, writes them to BENCH_JSON_OUT, and enforces the acceptance bars:
+// the merged cycle must cost (1+(k−1)σ)/k of the independent one, the
+// shared submit path must stay within 5× of the plain path's wall cost, and
+// the experiment verdict must PASS (strictly fewer nodes, attainment within
+// a point, byte-deterministic re-run). Skipped unless BENCH_JSON_OUT is set
+// (`make bench-shareddb` sets it).
+func TestWriteSharedBenchJSON(t *testing.T) {
+	out := os.Getenv("BENCH_JSON_OUT")
+	if out == "" {
+		t.Skip("BENCH_JSON_OUT not set; run via `make bench-shareddb`")
+	}
+	cl := sharedBenchClass(t)
+	sigma := cl.ShareSigma()
+	var recs []SharedBenchRecord
+
+	rShared := testing.Benchmark(BenchmarkSharedSubmitCycle)
+	rPlain := testing.Benchmark(BenchmarkPlainSubmitCycle)
+	for _, m := range []struct {
+		name string
+		r    testing.BenchmarkResult
+	}{
+		{"BenchmarkSharedSubmitCycle", rShared},
+		{"BenchmarkPlainSubmitCycle", rPlain},
+	} {
+		recs = append(recs, SharedBenchRecord{
+			Name:        m.name,
+			Iterations:  m.r.N,
+			NsPerOp:     m.r.NsPerOp(),
+			AllocsPerOp: m.r.AllocsPerOp(),
+			BytesPerOp:  m.r.AllocedBytesPerOp(),
+			Class:       cl.ID,
+			Fanout:      sharedBenchFanout,
+		})
+	}
+	if rShared.NsPerOp() > 5*rPlain.NsPerOp() {
+		t.Errorf("shared submit cycle %d ns/op exceeds 5× the plain path's %d ns/op",
+			rShared.NsPerOp(), rPlain.NsPerOp())
+	}
+
+	mergedSec := cycleDemand(t, true)
+	plainSec := cycleDemand(t, false)
+	ratio := mergedSec / plainSec
+	want := (1 + float64(sharedBenchFanout-1)*sigma) / float64(sharedBenchFanout)
+	recs = append(recs, SharedBenchRecord{
+		Name:      "SharedWorkRatio",
+		Class:     cl.ID,
+		Fanout:    sharedBenchFanout,
+		Sigma:     sigma,
+		WorkRatio: ratio,
+	})
+	if math.Abs(ratio-want) > 1e-9 {
+		t.Errorf("merged work ratio %.6f, want (1+(k−1)σ)/k = %.6f for σ=%.3f k=%d",
+			ratio, want, sigma, sharedBenchFanout)
+	}
+
+	env, err := NewEnv(Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SharingOutcome(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	det := res.Deterministic()
+	recs = append(recs, SharedBenchRecord{
+		Name:               "SharingExperimentOutcome",
+		BareNodes:          res.BarePlan.NodesUsed(),
+		SharedNodes:        res.SharedPlan.NodesUsed(),
+		ConsolidationRatio: res.ConsolidationRatio(),
+		BareAttainment:     res.BareAttainment,
+		SharedAttainment:   res.SharedAttainment,
+		SharedBatches:      res.Batches,
+		SharedJoins:        res.Joins,
+		Deterministic:      &det,
+		Verdict:            res.Verdict(),
+	})
+	if v := res.Verdict(); v != "PASS" {
+		t.Errorf("sharing experiment: %s", v)
+	}
+
+	buf, err := json.MarshalIndent(recs, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(buf, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s", out)
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import "testing"
+
+// TestSharingSmoke is the pre-commit gate for shared-work execution. The
+// full small-scale experiment must PASS its verdict — the sharing plan packs
+// strictly fewer nodes, the full-deployment replay holds per-query SLA
+// attainment within a point of the bare arm, the executor actually merged
+// batches, and the same-seed shared re-run reproduces byte-for-byte. On top
+// of the experiment's own bars, the sharing-OFF arm is replayed a second
+// time and must reproduce ITS trace byte-for-byte too: the off-mode
+// golden-hash equivalence guard. Off mode runs the weighted scheduler with
+// every weight 1, whose arithmetic (·1.0, /(speed·1.0)) is IEEE-exact, so
+// any divergence here is a real regression of the plain executor.
+func TestSharingSmoke(t *testing.T) {
+	env, err := NewEnv(Small, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := SharingOutcome(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := res.Verdict(); v != "PASS" {
+		t.Errorf("sharing experiment: %s", v)
+	}
+	if res.SharedAttainment < res.BareAttainment-0.01 {
+		t.Errorf("shared attainment %.4f vs bare %.4f", res.SharedAttainment, res.BareAttainment)
+	}
+	bare2, err := runSharingArm(env, res.BarePlan, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare2.digest != res.BareDigest {
+		t.Errorf("same-seed sharing-OFF replays diverged: %016x vs %016x",
+			bare2.digest, res.BareDigest)
+	}
+}

@@ -129,7 +129,7 @@ func finishGroup(p *Problem, cs *epoch.CountSet, members []int) Group {
 	return Group{
 		Items:     members,
 		MaxNodes:  maxNodes,
-		TTP:       cs.TTP(p.R),
+		TTP:       p.TTP(cs),
 		MaxActive: cs.MaxCount(),
 	}
 }
@@ -285,7 +285,7 @@ func (se *search) packOneGroup(order []int) (Group, []int) {
 	for len(order) > 0 {
 		best, tr := se.pickBest(order)
 		c := &se.cands[order[best]]
-		if len(members) > 0 && se.cs.NewTTP(se.p.R, tr) < se.p.P {
+		if len(members) > 0 && se.p.NewTTP(se.cs, tr) < se.p.P {
 			break // Algorithm 2 line 9: T_best no longer fits; close the group.
 		}
 		// The first member always enters: a single tenant has max count 1 ≤ R.

@@ -215,6 +215,9 @@ func New(eng *sim.Engine, dep *master.Deployment, mst *master.Master,
 		retiring: make(map[string]bool),
 		inflight: make(map[int]*flight),
 	}
+	// Placer feasibility must use the same capacity test that licensed the
+	// plan (nil when the advisor's sharing mode is off).
+	c.pl.Share = cfg.Plan.ShareWeights()
 	byID := make(map[string]*workload.TenantLog, len(logs))
 	for _, tl := range logs {
 		byID[tl.Tenant.ID] = tl
@@ -1040,7 +1043,10 @@ func (c *Controller) fallbackReconsolidate(now sim.Time, gid string) {
 // against the LIVBPwFC constraint with the same Verify the offline solvers
 // answer to. Engine-side callers only (it reads the live placer).
 func (c *Controller) Audit() error {
-	p := &grouping.Problem{D: c.grid.D, R: c.cfg.Plan.R, P: c.cfg.Plan.P}
+	// A sharing-planned partition is denser than the plain test allows;
+	// audit it against the same credited test that licensed it.
+	p := &grouping.Problem{D: c.grid.D, R: c.cfg.Plan.R, P: c.cfg.Plan.P,
+		Share: c.cfg.Plan.ShareWeights()}
 	var groups [][]string
 	for _, g := range c.pl.Groups() {
 		if g.Size() == 0 {

@@ -1,0 +1,80 @@
+package queries
+
+import "testing"
+
+func TestShareSigmaProfile(t *testing.T) {
+	cat := Default()
+	q1, ok := cat.ByID("TPCH-Q1")
+	if !ok {
+		t.Fatal("no TPCH-Q1")
+	}
+	q19, ok := cat.ByID("TPCH-Q19")
+	if !ok {
+		t.Fatal("no TPCH-Q19")
+	}
+	s1, s19 := q1.ShareSigma(), q19.ShareSigma()
+	if s1 < sigmaFloor || s1 > 1 || s19 < sigmaFloor || s19 > 1 {
+		t.Fatalf("sigmas out of range: Q1 %v Q19 %v", s1, s19)
+	}
+	// Q1 is the scan-dominated near-linear scaler, Q19 the coordination-bound
+	// plateau (Fig 1.1): the shareable fraction must reflect that.
+	if s1 >= s19 {
+		t.Fatalf("want σ(Q1) < σ(Q19), got %v >= %v", s1, s19)
+	}
+	if s1 > 0.5 {
+		t.Fatalf("scan-dominated Q1 should have σ ≪ 1, got %v", s1)
+	}
+}
+
+func TestSharedDemand(t *testing.T) {
+	cat := Default()
+	q1, _ := cat.ByID("TPCH-Q1")
+	iso := 100.0
+	sigma := q1.ShareSigma()
+	// Equal members: isolated × (1 + σ·(k−1)).
+	for k := 1; k <= 4; k++ {
+		got := q1.SharedDemand(iso, iso*float64(k))
+		want := iso * (1 + sigma*float64(k-1))
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("k=%d: demand %v want %v", k, got, want)
+		}
+	}
+	// A batch is never cheaper than its widest member.
+	if got := q1.SharedDemand(100, 90); got != 100 {
+		t.Fatalf("demand below max member: %v", got)
+	}
+}
+
+func TestNewShareModel(t *testing.T) {
+	cat := Default()
+	m, err := NewShareModel(cat, 3, 1.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R != 3 || len(m.W) != shareLevels {
+		t.Fatalf("model shape: R=%d len=%d", m.R, len(m.W))
+	}
+	for i, w := range m.W {
+		if w < 0 || w >= 1 {
+			t.Fatalf("W[%d]=%v outside [0,1)", i, w)
+		}
+	}
+	// Sharing must grant real credit just above capacity (duplicate classes
+	// are common enough among the in-flight draws of R+1 streams).
+	if m.W[0] <= 0.01 {
+		t.Fatalf("no credit at R+1: %v", m.W)
+	}
+	// Denser streams collide more: more in-flight queries per stream must
+	// not reduce the credit just above capacity.
+	m1, _ := NewShareModel(cat, 3, 1)
+	if m.W[0] < m1.W[0] {
+		t.Fatalf("batch-aware credit %v below single-query credit %v", m.W[0], m1.W[0])
+	}
+	// Deterministic: same catalog, same weights.
+	m2, _ := NewShareModel(cat, 3, 1.9)
+	for i := range m.W {
+		if m.W[i] != m2.W[i] {
+			t.Fatalf("nondeterministic weights at %d", i)
+		}
+	}
+}

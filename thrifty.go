@@ -226,6 +226,13 @@ type DeployOptions struct {
 	// fighting with uncoordinated backoff. Requires Recovery (or Gray,
 	// which auto-arms it). Nil keeps classic per-group retry cycles.
 	Triage *TriageConfig
+	// Sharing enables shared-work execution on every MPPDB instance:
+	// concurrent same-class queries merge into one shared scan
+	// (mppdb.SetSharing), and the admission controller reads effective,
+	// batch-collapsed concurrency. Pair with PlanConfig.Sharing so the plan
+	// packs for the capacity the executor actually delivers. Strictly
+	// opt-in (byte-identical replay when off).
+	Sharing bool
 }
 
 // Deploy brings the plan up on a fresh simulated cluster.
@@ -255,6 +262,7 @@ func Deploy(w *Workload, plan *Plan, opts DeployOptions) (*System, error) {
 		Gray:          opts.Gray,
 		NoSpread:      opts.NoSpread,
 		Triage:        opts.Triage,
+		Sharing:       opts.Sharing,
 	})
 	dep, err := m.Deploy(plan, w.Tenants())
 	if err != nil {
